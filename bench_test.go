@@ -1,0 +1,263 @@
+package osdiversity
+
+// The benchmark harness: one benchmark per experiment of the paper's
+// evaluation (E1-E11 per DESIGN.md's index, plus the E12 extension).
+// Each benchmark regenerates its table or figure from the calibrated
+// corpus through the real analysis pipeline and asserts the paper's
+// numbers, so `go test -bench=.` doubles as the reproduction script.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"osdiversity/internal/attack"
+	"osdiversity/internal/core"
+	"osdiversity/internal/corpus"
+	"osdiversity/internal/nvdfeed"
+	"osdiversity/internal/osmap"
+	"osdiversity/internal/paperdata"
+	"osdiversity/internal/stats"
+)
+
+var benchStudy *core.Study
+
+func studyForBench(b *testing.B) *core.Study {
+	b.Helper()
+	if benchStudy == nil {
+		c, err := corpus.Generate()
+		if err != nil {
+			b.Fatalf("corpus.Generate: %v", err)
+		}
+		benchStudy = core.NewStudy(c.Entries)
+	}
+	return benchStudy
+}
+
+// BenchmarkTable1Distribution regenerates Table I (E1).
+func BenchmarkTable1Distribution(b *testing.B) {
+	s := studyForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, distinct := s.ValidityTable()
+		if distinct.Valid != paperdata.DistinctValid || len(rows) != osmap.NumDistros {
+			b.Fatalf("Table I mismatch: %d distinct", distinct.Valid)
+		}
+	}
+}
+
+// BenchmarkTable2Classification regenerates Table II (E2).
+func BenchmarkTable2Classification(b *testing.B) {
+	s := studyForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ := s.ClassTable()
+		for _, row := range rows {
+			want := paperdata.ClassTable[row.Distro]
+			if row.Kernel != want.Kernel || row.App != want.App {
+				b.Fatalf("Table II mismatch at %v", row.Distro)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2Temporal regenerates the Figure 2 series and the
+// family-correlation observation (E3).
+func BenchmarkFigure2Temporal(b *testing.B) {
+	s := studyForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w2k := s.TemporalSeries(osmap.Windows2000)
+		w2k3 := s.TemporalSeries(osmap.Windows2003)
+		xs, ys, _ := stats.SeriesAlign(w2k, w2k3)
+		r, err := stats.Pearson(xs, ys)
+		if err != nil || r < 0.2 {
+			b.Fatalf("Windows family correlation = %.2f, %v (paper: strongly correlated)", r, err)
+		}
+	}
+}
+
+// BenchmarkTable3PairwiseOverlap regenerates all 165 cells of Table III (E4).
+func BenchmarkTable3PairwiseOverlap(b *testing.B) {
+	s := studyForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range osmap.AllPairs() {
+			want := paperdata.PairTable[p]
+			if s.Overlap(p, core.FatServer) != want.All ||
+				s.Overlap(p, core.ThinServer) != want.NoApp ||
+				s.Overlap(p, core.IsolatedThinServer) != want.Remote {
+				b.Fatalf("Table III mismatch at %v", p)
+			}
+		}
+	}
+}
+
+// BenchmarkTable4PartBreakdown regenerates Table IV (E5).
+func BenchmarkTable4PartBreakdown(b *testing.B) {
+	s := studyForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range osmap.AllPairs() {
+			got := s.PartBreakdown(p)
+			want := paperdata.PartTable[p]
+			if got.Kernel != want.Kernel || got.SysSoft != want.SysSoft || got.Driver != want.Driver {
+				b.Fatalf("Table IV mismatch at %v", p)
+			}
+		}
+	}
+}
+
+// BenchmarkTable5HistoryObserved regenerates Table V (E6).
+func BenchmarkTable5HistoryObserved(b *testing.B) {
+	s := studyForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p, want := range paperdata.PeriodTable {
+			got := s.PeriodSplit(p, paperdata.HistoryEndYear)
+			if got.History != want.History || got.Observed != want.Observed {
+				b.Fatalf("Table V mismatch at %v", p)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3Configurations regenerates Figure 3 (E7).
+func BenchmarkFigure3Configurations(b *testing.B) {
+	s := studyForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, set := range paperdata.Figure3Sets {
+			hist, obs := s.EvaluateConfiguration(set.Members, paperdata.HistoryEndYear)
+			want := paperdata.Figure3Expected[set.Name]
+			if hist != want.History || obs != want.Observed {
+				b.Fatalf("Figure 3 mismatch at %s: %d/%d", set.Name, hist, obs)
+			}
+		}
+	}
+}
+
+// BenchmarkTable6Releases regenerates Table VI (E8).
+func BenchmarkTable6Releases(b *testing.B) {
+	s := studyForBench(b)
+	releases := map[string]struct {
+		d osmap.Distro
+		v string
+	}{
+		"Debian2.1": {osmap.Debian, "2.1"}, "Debian3.0": {osmap.Debian, "3.0"},
+		"Debian4.0": {osmap.Debian, "4.0"}, "RedHat6.2*": {osmap.RedHat, "6.2*"},
+		"RedHat4.0": {osmap.RedHat, "4.0"}, "RedHat5.0": {osmap.RedHat, "5.0"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for cell, want := range paperdata.ReleaseTable {
+			ra, rb := releases[cell.A], releases[cell.B]
+			if got := s.ReleaseOverlap(ra.d, ra.v, rb.d, rb.v); got != want {
+				b.Fatalf("Table VI mismatch at %s-%s", cell.A, cell.B)
+			}
+		}
+	}
+}
+
+// BenchmarkKWiseOverlap regenerates the §IV-B k-wise counts (E9).
+func BenchmarkKWiseOverlap(b *testing.B) {
+	s := studyForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kwise := s.KWiseProducts(core.FatServer)
+		for k, want := range paperdata.KWiseProducts {
+			if kwise[k] != want {
+				b.Fatalf("k-wise mismatch at %d: %d != %d", k, kwise[k], want)
+			}
+		}
+	}
+}
+
+// BenchmarkSelection regenerates the §IV-C replica-set ranking (E10).
+func BenchmarkSelection(b *testing.B) {
+	s := studyForBench(b)
+	window := core.SelectionWindow{ToYear: paperdata.HistoryEndYear}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranked := s.RankReplicaSets(osmap.HistoryEligible(), 4, core.OnePerFamily, window)
+		if len(ranked) != 12 || ranked[0].Cost != 10 {
+			b.Fatalf("selection mismatch: best cost %d", ranked[0].Cost)
+		}
+	}
+}
+
+// BenchmarkFilterReduction regenerates the §IV-E(1) statistic (E11).
+func BenchmarkFilterReduction(b *testing.B) {
+	s := studyForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := s.FilterReduction(core.FatServer, core.IsolatedThinServer)
+		if r < 48 || r > 64 {
+			b.Fatalf("filter reduction = %.0f%%, paper says 56%%", r)
+		}
+	}
+}
+
+// BenchmarkAttackSimulation runs the E12 extension: Monte Carlo
+// time-to-compromise of Set1 vs a homogeneous baseline.
+func BenchmarkAttackSimulation(b *testing.B) {
+	s := studyForBench(b)
+	model := attack.NewModel(s, core.IsolatedThinServer)
+	homog := attack.Scenario{Name: "homog", F: 1,
+		OSes: []osmap.Distro{osmap.Debian, osmap.Debian, osmap.Debian, osmap.Debian}}
+	diverse := attack.Scenario{Name: "set1", F: 1,
+		OSes: []osmap.Distro{osmap.Windows2003, osmap.Solaris, osmap.Debian, osmap.OpenBSD}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gain, err := model.Gain(homog, diverse, 100)
+		if err != nil || gain <= 1.2 {
+			b.Fatalf("diversity gain = %.2f, %v", gain, err)
+		}
+	}
+}
+
+// BenchmarkCorpusGeneration measures the calibrated generator itself.
+func BenchmarkCorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := corpus.Generate()
+		if err != nil || len(c.Entries) != paperdata.TotalCollected {
+			b.Fatalf("generate: %v, %d entries", err, len(c.Entries))
+		}
+	}
+}
+
+// BenchmarkFeedRoundTrip measures the XML write+parse path over the full
+// corpus (the ingestion pipeline's hot loop).
+func BenchmarkFeedRoundTrip(b *testing.B) {
+	c, err := corpus.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	path := filepath.Join(dir, "feed.xml.gz")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nvdfeed.WriteFile(path, "CVE-ALL", c.Entries); err != nil {
+			b.Fatal(err)
+		}
+		entries, err := nvdfeed.ReadFile(path)
+		if err != nil || len(entries) != len(c.Entries) {
+			b.Fatalf("round trip: %v, %d entries", err, len(entries))
+		}
+	}
+}
+
+// BenchmarkStudyConstruction measures digesting the full corpus into a
+// Study (clustering, classification, CVSS checks for 2120 entries).
+func BenchmarkStudyConstruction(b *testing.B) {
+	c, err := corpus.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := core.NewStudy(c.Entries)
+		if s.ValidEntries() != paperdata.DistinctValid {
+			b.Fatal("study mismatch")
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Command nvdgen writes the calibrated synthetic NVD data feeds — one
+// gzip-compressed XML file per publication year, in the NVD 2.0 schema —
+// that stand in for the 2010 snapshot the paper mined.
+//
+// Usage:
+//
+//	nvdgen -out feeds/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"osdiversity"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nvdgen: ")
+	out := flag.String("out", "feeds", "output directory for the XML feeds")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	paths, err := osdiversity.GenerateFeeds(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range paths {
+		fmt.Println(p)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d feeds to %s\n", len(paths), *out)
+}

@@ -1,0 +1,367 @@
+// Command osdiv regenerates every table and figure of the paper's
+// evaluation from a data source (calibrated corpus, XML feeds, or an
+// imported database).
+//
+// Usage:
+//
+//	osdiv [-db study.db | -feeds dir] <subcommand>
+//
+// Subcommands:
+//
+//	tables    print Tables I-VI (-t N for one table)
+//	figures   print Figures 2 and 3 (-f N for one figure)
+//	kwise     print the k-wise product overlap counts (§IV-B)
+//	select    rank replica sets on history data (§IV-C)
+//	releases  print the per-release overlap study (Table VI)
+//	simulate  run the attack simulation extension (E12)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"osdiversity"
+	"osdiversity/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("osdiv: ")
+
+	db := flag.String("db", "", "analyze a database produced by nvdimport")
+	feeds := flag.String("feeds", "", "analyze XML feeds from this directory")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+
+	a, err := loadAnalysis(*db, *feeds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	args := flag.Args()[1:]
+	switch flag.Arg(0) {
+	case "tables":
+		err = runTables(a, args)
+	case "figures":
+		err = runFigures(a, args)
+	case "kwise":
+		err = runKWise(a)
+	case "select":
+		err = runSelect(a, args)
+	case "releases":
+		err = runReleases(a)
+	case "simulate":
+		err = runSimulate(a, args)
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir] tables|figures|kwise|select|releases|simulate [options]")
+	os.Exit(2)
+}
+
+func loadAnalysis(db, feeds string) (*osdiversity.Analysis, error) {
+	switch {
+	case db != "":
+		return osdiversity.LoadDatabase(db)
+	case feeds != "":
+		matches, err := filepath.Glob(filepath.Join(feeds, "*.xml*"))
+		if err != nil || len(matches) == 0 {
+			return nil, fmt.Errorf("no feeds found in %s", feeds)
+		}
+		return osdiversity.LoadFeeds(matches...)
+	default:
+		return osdiversity.LoadCalibrated()
+	}
+}
+
+func runTables(a *osdiversity.Analysis, args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ExitOnError)
+	which := fs.Int("t", 0, "table number (1-6); 0 prints all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	printed := false
+	show := func(n int) bool { return *which == 0 || *which == n }
+	if show(1) {
+		printTable1(a)
+		printed = true
+	}
+	if show(2) {
+		printTable2(a)
+		printed = true
+	}
+	if show(3) {
+		printTable3(a)
+		printed = true
+	}
+	if show(4) {
+		printTable4(a)
+		printed = true
+	}
+	if show(5) {
+		printTable5(a)
+		printed = true
+	}
+	if show(6) {
+		return runReleases(a)
+	}
+	if !printed {
+		return fmt.Errorf("unknown table %d", *which)
+	}
+	return nil
+}
+
+func printTable1(a *osdiversity.Analysis) {
+	rows, distinct := a.ValidityTable()
+	t := report.NewTable("Table I — distribution of OS vulnerabilities in NVD",
+		"OS", "Valid", "Unknown", "Unspecified", "Disputed")
+	for _, r := range rows {
+		t.AddRowValues(r.OS, r.Valid, r.Unknown, r.Unspecified, r.Disputed)
+	}
+	t.AddRowValues(distinct.OS, distinct.Valid, distinct.Unknown, distinct.Unspecified, distinct.Disputed)
+	t.WriteASCII(os.Stdout)
+	fmt.Println()
+}
+
+func printTable2(a *osdiversity.Analysis) {
+	rows, shares := a.ClassTable()
+	t := report.NewTable("Table II — vulnerabilities per OS component class",
+		"OS", "Driver", "Kernel", "Sys. Soft.", "App.", "Total")
+	for _, r := range rows {
+		t.AddRowValues(r.OS, r.Driver, r.Kernel, r.SysSoft, r.App,
+			r.Driver+r.Kernel+r.SysSoft+r.App)
+	}
+	t.AddRow("% of distinct",
+		fmt.Sprintf("%.1f%%", shares[0]), fmt.Sprintf("%.1f%%", shares[1]),
+		fmt.Sprintf("%.1f%%", shares[2]), fmt.Sprintf("%.1f%%", shares[3]), "")
+	t.WriteASCII(os.Stdout)
+	fmt.Println()
+}
+
+func printTable3(a *osdiversity.Analysis) {
+	t := report.NewTable("Table III — shared vulnerabilities per OS pair (All / NoApp / NoApp+NoLocal)",
+		"Pair", "v(A)", "v(B)", "v(AB)", "v(A)'", "v(B)'", "v(AB)'", "v(A)''", "v(B)''", "v(AB)''")
+	for _, row := range a.PairwiseOverlaps() {
+		t.AddRowValues(row.A+"-"+row.B,
+			row.TotalA[0], row.TotalB[0], row.All,
+			row.TotalA[1], row.TotalB[1], row.NoApp,
+			row.TotalA[2], row.TotalB[2], row.Remote)
+	}
+	t.WriteASCII(os.Stdout)
+	fmt.Printf("\naverage Fat->IsolatedThin reduction: %.0f%%\n\n", a.FilterReduction())
+}
+
+func printTable4(a *osdiversity.Analysis) {
+	t := report.NewTable("Table IV — common vulnerabilities on Isolated Thin Servers by part",
+		"Pair", "Driver", "Kernel", "Sys. Soft.", "Total")
+	for _, row := range a.PartBreakdowns() {
+		t.AddRowValues(row.A+"-"+row.B, row.Driver, row.Kernel, row.SysSoft, row.Total)
+	}
+	t.WriteASCII(os.Stdout)
+	fmt.Println()
+}
+
+func printTable5(a *osdiversity.Analysis) {
+	t := report.NewTable("Table V — history (1994-2005) vs observed (2006-2010), Isolated Thin Servers",
+		"Pair", "History", "Observed")
+	for _, cell := range a.HistoryObserved(2005) {
+		t.AddRowValues(cell.A+"-"+cell.B, cell.History, cell.Observed)
+	}
+	t.WriteASCII(os.Stdout)
+	fmt.Println()
+}
+
+func runFigures(a *osdiversity.Analysis, args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	which := fs.Int("f", 0, "figure number (2 or 3); 0 prints both")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *which == 0 || *which == 2 {
+		if err := printFigure2(a); err != nil {
+			return err
+		}
+	}
+	if *which == 0 || *which == 3 {
+		printFigure3(a)
+	}
+	if *which != 0 && *which != 2 && *which != 3 {
+		return fmt.Errorf("unknown figure %d", *which)
+	}
+	return nil
+}
+
+func printFigure2(a *osdiversity.Analysis) error {
+	families := map[string][]string{
+		"Solaris family": {"Solaris", "OpenSolaris"},
+		"BSD family":     {"FreeBSD", "NetBSD", "OpenBSD"},
+		"Windows family": {"Windows2008", "Windows2003", "Windows2000"},
+		"Linux family":   {"Debian", "Ubuntu", "RedHat"},
+	}
+	order := []string{"Solaris family", "BSD family", "Windows family", "Linux family"}
+	for _, fam := range order {
+		ys := report.NewYearSeries("Figure 2 — " + fam)
+		for _, osName := range families[fam] {
+			series, err := a.TemporalSeries(osName)
+			if err != nil {
+				return err
+			}
+			ys.Add(osName, series)
+		}
+		ys.Write(os.Stdout)
+		fmt.Println()
+	}
+	return nil
+}
+
+func printFigure3(a *osdiversity.Analysis) {
+	configs := []struct {
+		name    string
+		members []string
+	}{
+		{"Debian", []string{"Debian"}},
+		{"Set1", []string{"Windows2003", "Solaris", "Debian", "OpenBSD"}},
+		{"Set2", []string{"Windows2003", "Solaris", "Debian", "NetBSD"}},
+		{"Set3", []string{"Windows2003", "Solaris", "RedHat", "NetBSD"}},
+		{"Set4", []string{"OpenBSD", "NetBSD", "Debian", "RedHat"}},
+	}
+	hist := report.NewBarChart("Figure 3 — configurations, history period (1994-2005)")
+	obs := report.NewBarChart("Figure 3 — configurations, observed period (2006-2010)")
+	for _, cfg := range configs {
+		h, o, err := a.EvaluateConfiguration(cfg.members, 2005)
+		if err != nil {
+			continue
+		}
+		hist.Add(cfg.name, float64(h))
+		obs.Add(cfg.name, float64(o))
+	}
+	hist.Write(os.Stdout)
+	fmt.Println()
+	obs.Write(os.Stdout)
+	fmt.Println()
+}
+
+func runKWise(a *osdiversity.Analysis) error {
+	kwise := a.KWiseProducts()
+	var ks []int
+	for k := range kwise {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	t := report.NewTable("k-wise overlap — distinct vulnerabilities affecting >= k OS products",
+		"k", "vulnerabilities")
+	for _, k := range ks {
+		if k >= 3 {
+			t.AddRowValues(k, kwise[k])
+		}
+	}
+	t.WriteASCII(os.Stdout)
+	fmt.Printf("\nmost shared: %s\n", strings.Join(a.MostShared(3), ", "))
+	return nil
+}
+
+func runSelect(a *osdiversity.Analysis, args []string) error {
+	fs := flag.NewFlagSet("select", flag.ExitOnError)
+	k := fs.Int("k", 4, "replica set size")
+	onePerFamily := fs.Bool("one-per-family", false, "draw at most one OS per family")
+	top := fs.Int("top", 10, "show the best N sets")
+	toYear := fs.Int("to", 2005, "selection window end year (history period)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ranked := a.SelectReplicaSets(*k, *onePerFamily, *toYear)
+	if len(ranked) > *top {
+		ranked = ranked[:*top]
+	}
+	t := report.NewTable(fmt.Sprintf("replica sets of size %d ranked by shared vulnerabilities through %d", *k, *toYear),
+		"Rank", "Members", "Shared")
+	for i, r := range ranked {
+		t.AddRowValues(i+1, strings.Join(r.Members, ", "), r.Cost)
+	}
+	return t.WriteASCII(os.Stdout)
+}
+
+func runReleases(a *osdiversity.Analysis) error {
+	releases := []struct{ os, ver string }{
+		{"Debian", "2.1"}, {"Debian", "3.0"}, {"Debian", "4.0"},
+		{"RedHat", "6.2*"}, {"RedHat", "4.0"}, {"RedHat", "5.0"},
+	}
+	t := report.NewTable("Table VI — common vulnerabilities between OS releases (Isolated Thin Server)",
+		"Releases", "Total")
+	for i := 0; i < len(releases); i++ {
+		for j := i + 1; j < len(releases); j++ {
+			ra, rb := releases[i], releases[j]
+			n, err := a.ReleaseOverlap(ra.os, ra.ver, rb.os, rb.ver)
+			if err != nil {
+				return err
+			}
+			t.AddRowValues(ra.os+ra.ver+"-"+rb.os+rb.ver, n)
+		}
+	}
+	t.WriteASCII(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+func runSimulate(a *osdiversity.Analysis, args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	trials := fs.Int("trials", 200, "Monte Carlo trials per configuration")
+	f := fs.Int("f", 1, "fault threshold (3f+1 replicas)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	configs := []struct {
+		name    string
+		members []string
+	}{
+		{"homogeneous Debian", repeat("Debian", 3**f+1)},
+		{"homogeneous Windows2000", repeat("Windows2000", 3**f+1)},
+		{"Set1 (diverse)", []string{"Windows2003", "Solaris", "Debian", "OpenBSD"}},
+		{"Set4 (budget diverse)", []string{"OpenBSD", "NetBSD", "Debian", "RedHat"}},
+		{"Windows-only (worst diverse)", []string{"Windows2000", "Windows2003", "Windows2008", "Solaris"}},
+	}
+	t := report.NewTable(fmt.Sprintf("attack simulation (f=%d, %d trials): sequential exploit campaigns", *f, *trials),
+		"Configuration", "MeanTTC", "MedianTTC", "SharedFatal", "Unbroken")
+	for _, cfg := range configs {
+		if len(cfg.members) != 3**f+1 {
+			continue
+		}
+		sum, err := a.SimulateAttack(cfg.name, cfg.members, *f, *trials)
+		if err != nil {
+			return err
+		}
+		t.AddRow(cfg.name,
+			fmt.Sprintf("%.3f", sum.MeanTTC), fmt.Sprintf("%.3f", sum.MedianTTC),
+			fmt.Sprintf("%.2f", sum.SharedFatal), fmt.Sprint(sum.Unbroken))
+	}
+	if err := t.WriteASCII(os.Stdout); err != nil {
+		return err
+	}
+	gain, err := a.DiversityGain("Debian", []string{"Windows2003", "Solaris", "Debian", "OpenBSD"}, 1, *trials)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndiversity gain (Set1 vs homogeneous Debian): %.2fx mean time-to-compromise\n", gain)
+	return nil
+}
+
+func repeat(s string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}

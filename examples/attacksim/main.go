@@ -1,0 +1,50 @@
+// Attack simulation: the reproduction's extension experiment (E12).
+// An adversary runs sequential exploit campaigns against the replicas of
+// a BFT service; shared vulnerabilities let one campaign take several
+// replicas at once. Compare how long homogeneous and diverse
+// deployments survive.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+import "osdiversity"
+
+func main() {
+	log.SetFlags(0)
+
+	a, err := osdiversity.LoadCalibrated()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const trials = 500
+	configs := []struct {
+		name    string
+		members []string
+	}{
+		{"4x Debian (homogeneous)", []string{"Debian", "Debian", "Debian", "Debian"}},
+		{"Set1: Win2003+Solaris+Debian+OpenBSD", []string{"Windows2003", "Solaris", "Debian", "OpenBSD"}},
+		{"Set4: OpenBSD+NetBSD+Debian+RedHat", []string{"OpenBSD", "NetBSD", "Debian", "RedHat"}},
+		{"Windows-heavy: 2000+2003+2008+Solaris", []string{"Windows2000", "Windows2003", "Windows2008", "Solaris"}},
+	}
+
+	fmt.Printf("%-40s %9s %12s\n", "configuration (f=1, 3f+1=4 replicas)", "mean TTC", "shared-fatal")
+	for _, cfg := range configs {
+		sum, err := a.SimulateAttack(cfg.name, cfg.members, 1, trials)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s %9.3f %11.0f%%\n", cfg.name, sum.MeanTTC, 100*sum.SharedFatal)
+	}
+
+	gain, err := a.DiversityGain("Debian", []string{"Windows2003", "Solaris", "Debian", "OpenBSD"}, 1, trials)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSet1 survives %.2fx longer than the homogeneous baseline.\n", gain)
+	fmt.Println("shared-fatal = fraction of runs where a single shared-vulnerability")
+	fmt.Println("exploit crossed the fault threshold: ~100% homogeneous, rare for Set1.")
+}

@@ -1,0 +1,57 @@
+// Quickstart: generate the calibrated synthetic NVD feeds, parse them
+// back, and print the headline shared-vulnerability numbers — the
+// five-minute tour of the reproduction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"osdiversity"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	dir, err := os.MkdirTemp("", "osdiv-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Write the synthetic NVD data feeds (one XML file per year).
+	feeds, err := osdiversity.GenerateFeeds(filepath.Join(dir, "feeds"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d NVD feed files\n", len(feeds))
+
+	// 2. Parse them through the real XML pipeline and analyze.
+	a, err := osdiversity.LoadFeeds(feeds...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyzed %d valid vulnerabilities (the paper studies 1887)\n\n", a.ValidCount())
+
+	// 3. Three pairs from the paper's Table III: a same-family pair, a
+	// cross-family pair, and a pair with no common flaws at all.
+	interesting := map[[2]string]bool{
+		{"Windows2000", "Windows2003"}: true,
+		{"OpenBSD", "Windows2003"}:     true,
+		{"NetBSD", "Ubuntu"}:           true,
+	}
+	fmt.Println("pair                       all  no-app  remote-only")
+	for _, row := range a.PairwiseOverlaps() {
+		if !interesting[[2]string{row.A, row.B}] {
+			continue
+		}
+		fmt.Printf("%-26s %4d  %6d  %11d\n", row.A+"-"+row.B, row.All, row.NoApp, row.Remote)
+	}
+
+	// 4. The paper's punchline: hardening the servers (no applications,
+	// remote-only) removes more than half the common vulnerabilities.
+	fmt.Printf("\naverage reduction Fat Server -> Isolated Thin Server: %.0f%%\n",
+		a.FilterReduction())
+}

@@ -1,0 +1,58 @@
+// Replica selection: the paper's §IV-C experiment as a library user
+// would run it — choose the most diverse 4-replica configuration on
+// pre-2006 ("history") data, then check how it fares on 2006-2010
+// ("observed") data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"osdiversity"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	a, err := osdiversity.LoadCalibrated()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const splitYear = 2005
+
+	// The homogeneous baseline: four identical replicas of the OS with
+	// the fewest history-period vulnerabilities (Debian, as the paper
+	// finds). Every one of its vulnerabilities hits all four replicas.
+	hist, obs, err := a.EvaluateConfiguration([]string{"Debian"}, splitYear)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline, 4x Debian:           history %2d   observed %2d\n", hist, obs)
+
+	// Diverse selection, one OS per family (the constraint under which
+	// the paper's printed Set1/Set2/Set3 emerge).
+	perFamily := a.SelectReplicaSets(4, true, splitYear)
+	fmt.Println("\ntop diverse sets (one per family), selected on history data:")
+	for i, set := range perFamily[:3] {
+		h, o, err := a.EvaluateConfiguration(set.Members, splitYear)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d. %-48s history %2d   observed %2d\n",
+			i+1, strings.Join(set.Members, ", "), h, o)
+	}
+
+	// Unconstrained search finds one configuration the paper's
+	// substitution heuristic misses (two BSDs, cost 12).
+	unconstrained := a.SelectReplicaSets(4, false, splitYear)
+	fmt.Println("\ntop sets without the family constraint:")
+	for i, set := range unconstrained[:3] {
+		fmt.Printf("%d. %-48s history %2d\n", i+1, strings.Join(set.Members, ", "), set.Cost)
+	}
+
+	fmt.Println("\nthe selected diverse sets share one vulnerability or fewer in the")
+	fmt.Println("observed period, versus nine for the homogeneous baseline — the")
+	fmt.Println("paper's evidence that history data is a usable selection signal.")
+}

@@ -1,0 +1,450 @@
+// Package attack models the adversary the paper's introduction worries
+// about: one who develops exploits for (possibly shared) OS
+// vulnerabilities and uses them to compromise replicas of an
+// intrusion-tolerant service.
+//
+// The model answers the paper's opening question — "what are the gains
+// of applying OS diversity on a replicated intrusion-tolerant system?" —
+// by simulation under the paper's own assumption (footnote 5): "the cost
+// to compromise each OS is non-negligible and approximately the same".
+// The adversary therefore runs sequential exploit campaigns, one per
+// target OS, each taking Exp(MeanEffort) time; a successful campaign
+// exploits one concrete vulnerability of the target, and every OS
+// sharing that vulnerability is compromised for free at the same
+// instant. The system falls when more than F replicas are compromised.
+//
+// Under this model a homogeneous cluster always falls to the first
+// campaign, a fully disjoint F=1 set needs two, and shared
+// vulnerabilities are exactly what lets the adversary cross the
+// threshold early — so the measured time-to-compromise quantifies the
+// diversity gain as a function of the overlap structure the paper
+// measures. The paper has no such experiment (it laments the missing
+// exploit-rate data in §V); this module is the reproduction's extension,
+// clearly labeled as such in DESIGN.md and EXPERIMENTS.md.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"osdiversity/internal/bft"
+	"osdiversity/internal/core"
+	"osdiversity/internal/osmap"
+)
+
+// Model holds the vulnerability population driving the simulation.
+type Model struct {
+	vulns []core.VulnRef
+	// MeanEffort is the expected exploit-development effort per
+	// vulnerability in abstract time units (default 1.0).
+	MeanEffort float64
+}
+
+// NewModel extracts the vulnerability population from a study under a
+// profile (the Isolated Thin Server profile matches the paper's
+// hardened-replica assumption).
+func NewModel(study *core.Study, profile core.Profile) *Model {
+	return &Model{vulns: study.Vulnerabilities(profile), MeanEffort: 1.0}
+}
+
+// VulnCount returns the population size.
+func (m *Model) VulnCount() int { return len(m.vulns) }
+
+// Scenario is one replica configuration under attack.
+type Scenario struct {
+	Name string
+	// F is the fault threshold: the system is correct while at most F
+	// replicas are compromised.
+	F int
+	// OSes assigns operating systems to the 3F+1 replicas.
+	OSes []osmap.Distro
+}
+
+// Validate checks the scenario shape.
+func (s Scenario) Validate() error {
+	if s.F < 1 {
+		return errors.New("attack: F must be at least 1")
+	}
+	if len(s.OSes) != 3*s.F+1 {
+		return fmt.Errorf("attack: need %d replicas for F=%d, got %d", 3*s.F+1, s.F, len(s.OSes))
+	}
+	return nil
+}
+
+// Result is one simulated attack run.
+type Result struct {
+	// TimeToCompromise is when the adversary first held F+1 replicas.
+	// +Inf when no campaign sequence can get that far (some replica's
+	// OS has no vulnerability in the population).
+	TimeToCompromise float64
+	// ExploitsUsed counts successful campaigns up to the compromise.
+	ExploitsUsed int
+	// FatalExploit reports how many replicas the threshold-crossing
+	// campaign took at once (>1 means a shared vulnerability helped).
+	FatalExploit int
+}
+
+// rng is a deterministic xorshift64* stream.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// expDraw returns an Exp(1/mean) variate.
+func (r *rng) expDraw(mean float64) float64 {
+	u := (float64(r.next()%1_000_000_000) + 1) / 1_000_000_001
+	return -mean * math.Log(u)
+}
+
+// Simulate runs one attack with a deterministic seed.
+//
+// The adversary repeatedly picks the not-yet-compromised OS covering the
+// most surviving replicas (ties by replica order), spends Exp(MeanEffort)
+// time on a campaign against it, exploits one of its vulnerabilities
+// (chosen uniformly), and thereby also compromises every OS sharing that
+// vulnerability.
+func (m *Model) Simulate(sc Scenario, seed uint64) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	rnd := rng{state: seed*0x9E3779B97F4A7C15 + 1}
+
+	// Vulnerability lists per distribution, restricted to the scenario.
+	byOS := make(map[osmap.Distro][]core.VulnRef)
+	for _, v := range m.vulns {
+		for _, d := range v.Distros {
+			byOS[d] = append(byOS[d], v)
+		}
+	}
+
+	compromisedOS := make(map[osmap.Distro]bool)
+	replicasDown := func() int {
+		n := 0
+		for _, os := range sc.OSes {
+			if compromisedOS[os] {
+				n++
+			}
+		}
+		return n
+	}
+
+	now := 0.0
+	campaigns := 0
+	for {
+		if replicasDown() > sc.F {
+			break // already past the threshold (cannot happen on entry)
+		}
+		// Choose the target covering the most surviving replicas.
+		var target osmap.Distro
+		bestCover := 0
+		for _, os := range distinctOSes(sc.OSes) {
+			if compromisedOS[os] || len(byOS[os]) == 0 {
+				continue
+			}
+			cover := 0
+			for _, o := range sc.OSes {
+				if o == os {
+					cover++
+				}
+			}
+			if cover > bestCover {
+				bestCover = cover
+				target = os
+			}
+		}
+		if bestCover == 0 {
+			return Result{TimeToCompromise: math.Inf(1), ExploitsUsed: campaigns}, nil
+		}
+
+		now += rnd.expDraw(m.MeanEffort)
+		campaigns++
+		vulns := byOS[target]
+		v := vulns[int(rnd.next()%uint64(len(vulns)))]
+
+		before := replicasDown()
+		compromisedOS[target] = true
+		for _, d := range v.Distros {
+			compromisedOS[d] = true
+		}
+		after := replicasDown()
+		if after > sc.F {
+			return Result{
+				TimeToCompromise: now,
+				ExploitsUsed:     campaigns,
+				FatalExploit:     after - before,
+			}, nil
+		}
+	}
+	return Result{TimeToCompromise: now, ExploitsUsed: campaigns}, nil
+}
+
+// Summary aggregates a Monte Carlo batch.
+type Summary struct {
+	Scenario Scenario
+	Trials   int
+	// MeanTTC and MedianTTC are over finite runs only.
+	MeanTTC   float64
+	MedianTTC float64
+	// SharedFatal is the fraction of runs where the threshold-crossing
+	// exploit took more than one replica at once.
+	SharedFatal float64
+	// Unbroken counts runs where the threshold was never crossed.
+	Unbroken int
+}
+
+// MonteCarlo runs `trials` deterministic simulations (seeds 1..trials).
+func (m *Model) MonteCarlo(sc Scenario, trials int) (Summary, error) {
+	if trials < 1 {
+		return Summary{}, errors.New("attack: at least one trial required")
+	}
+	times := make([]float64, 0, trials)
+	shared := 0
+	unbroken := 0
+	for t := 1; t <= trials; t++ {
+		res, err := m.Simulate(sc, uint64(t))
+		if err != nil {
+			return Summary{}, err
+		}
+		if math.IsInf(res.TimeToCompromise, 1) {
+			unbroken++
+			continue
+		}
+		times = append(times, res.TimeToCompromise)
+		if res.FatalExploit > 1 {
+			shared++
+		}
+	}
+	sum := Summary{Scenario: sc, Trials: trials, Unbroken: unbroken}
+	if len(times) > 0 {
+		total := 0.0
+		for _, t := range times {
+			total += t
+		}
+		sum.MeanTTC = total / float64(len(times))
+		sort.Float64s(times)
+		sum.MedianTTC = times[len(times)/2]
+		sum.SharedFatal = float64(shared) / float64(len(times))
+	}
+	return sum, nil
+}
+
+// Gain compares two scenarios: how many times longer the adversary needs
+// against `diverse` than against `baseline` (mean TTC ratio).
+func (m *Model) Gain(baseline, diverse Scenario, trials int) (float64, error) {
+	b, err := m.MonteCarlo(baseline, trials)
+	if err != nil {
+		return 0, err
+	}
+	d, err := m.MonteCarlo(diverse, trials)
+	if err != nil {
+		return 0, err
+	}
+	if b.MeanTTC == 0 {
+		return 0, errors.New("attack: baseline never compromised")
+	}
+	return d.MeanTTC / b.MeanTTC, nil
+}
+
+// ReplayOnCluster verifies one simulated attack against the BFT
+// substrate: it builds the scenario's cluster, applies the exploit
+// sequence up to (but not beyond) the fault threshold, checks the
+// service still commits correctly, then crosses the threshold and
+// checks a safety violation becomes observable.
+func (m *Model) ReplayOnCluster(sc Scenario, seed uint64) (preViolations, postViolations []string, err error) {
+	if err := sc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cluster, err := bft.NewCluster(bft.Config{F: sc.F, OSes: sc.OSes, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Compromise up to F replicas (by OS, as exploits do), run a
+	// request, and verify correctness.
+	budget := sc.F
+	for _, os := range distinctOSes(sc.OSes) {
+		if budget == 0 {
+			break
+		}
+		hits := 0
+		for _, o := range sc.OSes {
+			if o == os {
+				hits++
+			}
+		}
+		if hits <= budget {
+			cluster.CompromiseByOS(os, bft.ForgeReplies)
+			budget -= hits
+		}
+	}
+	cluster.Submit("pre-threshold")
+	cluster.Run(10000)
+	preViolations = cluster.SafetyReport()
+
+	// Cross the threshold: compromise OSes until more than F replicas
+	// are down, then observe the forged result reaching the client.
+	for _, os := range distinctOSes(sc.OSes) {
+		if cluster.CompromisedCount() > sc.F {
+			break
+		}
+		cluster.CompromiseByOS(os, bft.ForgeReplies)
+	}
+	cluster.Submit("post-threshold")
+	cluster.Run(20000)
+	postViolations = cluster.SafetyReport()
+	return preViolations, postViolations, nil
+}
+
+// RecoveryResult summarizes a simulation with proactive recovery.
+type RecoveryResult struct {
+	// Compromised reports whether the adversary ever held more than F
+	// replicas simultaneously within the horizon.
+	Compromised bool
+	// When is the compromise time (horizon if never compromised).
+	When float64
+	// Recoveries counts rejuvenations performed.
+	Recoveries int
+}
+
+// SimulateWithRecovery extends the campaign model with proactive
+// recovery (the paper's reference [3] pairs BFT with rejuvenation):
+// every `interval` time units, all compromised replicas are restored and
+// the exploits the adversary holds become useless (the rejuvenated OS is
+// patched against them), so campaigns against recovered OSes start over.
+// The system fails only if the adversary crosses the threshold *between*
+// recoveries — which shared vulnerabilities make dramatically easier,
+// since one campaign can take several replicas inside one window.
+func (m *Model) SimulateWithRecovery(sc Scenario, interval, horizon float64, seed uint64) (RecoveryResult, error) {
+	if err := sc.Validate(); err != nil {
+		return RecoveryResult{}, err
+	}
+	if interval <= 0 || horizon <= 0 {
+		return RecoveryResult{}, errors.New("attack: interval and horizon must be positive")
+	}
+	rnd := rng{state: seed*0x9E3779B97F4A7C15 + 1}
+	byOS := make(map[osmap.Distro][]core.VulnRef)
+	for _, v := range m.vulns {
+		for _, d := range v.Distros {
+			byOS[d] = append(byOS[d], v)
+		}
+	}
+
+	compromisedOS := make(map[osmap.Distro]bool)
+	replicasDown := func() int {
+		n := 0
+		for _, os := range sc.OSes {
+			if compromisedOS[os] {
+				n++
+			}
+		}
+		return n
+	}
+
+	now := 0.0
+	nextRecovery := interval
+	res := RecoveryResult{}
+	for now < horizon {
+		// Next campaign completion.
+		var target osmap.Distro
+		bestCover := 0
+		for _, os := range distinctOSes(sc.OSes) {
+			if compromisedOS[os] || len(byOS[os]) == 0 {
+				continue
+			}
+			cover := 0
+			for _, o := range sc.OSes {
+				if o == os {
+					cover++
+				}
+			}
+			if cover > bestCover {
+				bestCover = cover
+				target = os
+			}
+		}
+		if bestCover == 0 {
+			// Nothing left to attack before the next recovery.
+			now = nextRecovery
+		} else {
+			done := now + rnd.expDraw(m.MeanEffort)
+			// Process any recoveries that fire first.
+			for nextRecovery <= done && nextRecovery <= horizon {
+				if n := len(compromisedOS); n > 0 {
+					res.Recoveries += n
+					compromisedOS = make(map[osmap.Distro]bool)
+				}
+				nextRecovery += interval
+			}
+			if done > horizon {
+				break
+			}
+			now = done
+			vulns := byOS[target]
+			v := vulns[int(rnd.next()%uint64(len(vulns)))]
+			compromisedOS[target] = true
+			for _, d := range v.Distros {
+				compromisedOS[d] = true
+			}
+			if replicasDown() > sc.F {
+				res.Compromised = true
+				res.When = now
+				return res, nil
+			}
+		}
+		if now >= nextRecovery {
+			if n := len(compromisedOS); n > 0 {
+				res.Recoveries += n
+				compromisedOS = make(map[osmap.Distro]bool)
+			}
+			nextRecovery += interval
+		}
+	}
+	res.When = horizon
+	return res, nil
+}
+
+// SurvivalRate runs the recovery simulation over many trials and
+// returns the fraction that survived the horizon.
+func (m *Model) SurvivalRate(sc Scenario, interval, horizon float64, trials int) (float64, error) {
+	if trials < 1 {
+		return 0, errors.New("attack: at least one trial required")
+	}
+	survived := 0
+	for t := 1; t <= trials; t++ {
+		res, err := m.SimulateWithRecovery(sc, interval, horizon, uint64(t))
+		if err != nil {
+			return 0, err
+		}
+		if !res.Compromised {
+			survived++
+		}
+	}
+	return float64(survived) / float64(trials), nil
+}
+
+func distinctOSes(oses []osmap.Distro) []osmap.Distro {
+	seen := make(map[osmap.Distro]bool, len(oses))
+	var out []osmap.Distro
+	for _, o := range oses {
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func popcount32(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,95 @@
+package attack
+
+import (
+	"testing"
+)
+
+func TestRecoveryValidation(t *testing.T) {
+	m := paperModel(t)
+	if _, err := m.SimulateWithRecovery(set1(), 0, 10, 1); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := m.SimulateWithRecovery(set1(), 1, -1, 1); err == nil {
+		t.Error("negative horizon accepted")
+	}
+	if _, err := m.SurvivalRate(set1(), 1, 10, 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestRecoveryDeterministic(t *testing.T) {
+	m := paperModel(t)
+	a, err := m.SimulateWithRecovery(set1(), 0.5, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.SimulateWithRecovery(set1(), 0.5, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("recovery runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFastRecoveryProtectsDiverseSet(t *testing.T) {
+	// With recovery five times faster than the mean exploit campaign,
+	// the adversary must either land a shared-vulnerability exploit
+	// (rare for Set1) or chain two campaigns inside one 0.2-unit window.
+	// Over a three-unit mission the diverse set mostly survives, while
+	// the homogeneous one almost always dies to its first campaign.
+	m := paperModel(t)
+	rate, err := m.SurvivalRate(set1(), 0.2, 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.4 {
+		t.Errorf("Set1 survival with fast recovery = %.2f, want clearly above homogeneous", rate)
+	}
+	homog, err := m.SurvivalRate(homogeneousDebian(), 0.2, 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if homog > 0.2 || homog >= rate {
+		t.Errorf("homogeneous survival = %.2f vs diverse %.2f", homog, rate)
+	}
+}
+
+func TestRecoveryCannotSaveHomogeneousSet(t *testing.T) {
+	// A homogeneous cluster crosses the threshold with a single
+	// campaign, so recovery frequency is irrelevant over a horizon long
+	// enough for one campaign to land.
+	m := paperModel(t)
+	homogRate, err := m.SurvivalRate(homogeneousDebian(), 0.25, 20, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if homogRate > 0.05 {
+		t.Errorf("homogeneous survival with recovery = %.2f, should be near zero", homogRate)
+	}
+}
+
+func TestSlowRecoveryDegrades(t *testing.T) {
+	// Recovery slower than the campaign rate cannot protect even the
+	// diverse set.
+	m := paperModel(t)
+	fast, err := m.SurvivalRate(set1(), 0.2, 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := m.SurvivalRate(set1(), 10, 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow >= fast {
+		t.Errorf("slow-recovery survival %.2f >= fast-recovery %.2f", slow, fast)
+	}
+}
+
+func homogeneousDebian() Scenario {
+	sc := Scenario{Name: "homog", F: 1}
+	for i := 0; i < 4; i++ {
+		sc.OSes = append(sc.OSes, set1().OSes[2]) // Debian
+	}
+	return sc
+}

@@ -1,0 +1,40 @@
+package classify
+
+import (
+	"testing"
+	"time"
+
+	"osdiversity/internal/cpe"
+	"osdiversity/internal/cve"
+)
+
+func BenchmarkClassify(b *testing.B) {
+	c := NewClassifier()
+	e := &cve.Entry{
+		ID:        cve.MustID("CVE-2008-4609"),
+		Published: time.Date(2008, 10, 20, 0, 0, 0, 0, time.UTC),
+		Summary:   "The TCP implementation in the kernel allows remote attackers to cause a denial of service via crafted segments.",
+		Products:  []cpe.Name{cpe.MustParse("cpe:/o:openbsd:openbsd:4.2")},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Classify(e) != ClassKernel {
+			b.Fatal("misclassified")
+		}
+	}
+}
+
+func BenchmarkEntryValidity(b *testing.B) {
+	e := &cve.Entry{
+		ID:        cve.MustID("CVE-2006-1234"),
+		Published: time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC),
+		Summary:   "Unspecified vulnerability in the kernel has unknown impact and attack vectors.",
+		Products:  []cpe.Name{cpe.MustParse("cpe:/o:sun:solaris:10")},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if EntryValidity(e) != Unspecified {
+			b.Fatal("validity wrong")
+		}
+	}
+}

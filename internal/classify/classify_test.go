@@ -1,0 +1,187 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"osdiversity/internal/cpe"
+	"osdiversity/internal/cve"
+)
+
+func entryWithSummary(summary string) *cve.Entry {
+	return &cve.Entry{
+		ID:        cve.MustID("CVE-2005-1234"),
+		Published: time.Date(2005, 3, 1, 0, 0, 0, 0, time.UTC),
+		Summary:   summary,
+		Products:  []cpe.Name{cpe.MustParse("cpe:/o:openbsd:openbsd")},
+	}
+}
+
+func TestEntryValidity(t *testing.T) {
+	tests := []struct {
+		name    string
+		summary string
+		want    Validity
+	}{
+		{"plain", "Buffer overflow in the kernel allows remote attackers to crash the system.", Valid},
+		{"unspecified prefix", "Unspecified vulnerability in the kernel has unknown impact.", Unspecified},
+		{"unknown prefix", "Unknown vulnerability in login allows local users to gain privileges.", Unknown},
+		{"disputed", "** DISPUTED ** Buffer overflow in ftpd.", Disputed},
+		{"disputed lowercase", "** disputed ** integer overflow.", Disputed},
+		{"disputed beats unknown", "** DISPUTED ** Unknown vulnerability in sshd.", Disputed},
+		{"unspecified vectors", "Cross-site scripting via unspecified vectors in the web server.", Unspecified},
+		{"unknown attack vectors", "Flaw with unknown attack vectors in the scheduler.", Unknown},
+		{"word unknown elsewhere ok", "The kernel mishandles packets from unknown hosts.", Valid},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := EntryValidity(entryWithSummary(tt.summary)); got != tt.want {
+				t.Fatalf("EntryValidity(%q) = %v, want %v", tt.summary, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClassifyByRule(t *testing.T) {
+	c := NewClassifier()
+	tests := []struct {
+		name    string
+		summary string
+		want    Class
+	}{
+		{"kernel tcp", "The TCP implementation allows remote attackers to exhaust connection state.", ClassKernel},
+		{"kernel fs", "Race condition in the file system layer allows local users to read arbitrary files.", ClassKernel},
+		{"kernel vm", "Integer overflow in virtual memory handling leads to a kernel panic.", ClassKernel},
+		{"kernel libc", "Heap overflow in libc string routines allows privilege escalation.", ClassKernel},
+		{"driver", "Buffer overflow in the wireless card driver allows nearby attackers to execute code.", ClassDriver},
+		{"driver video", "Memory corruption in the video card driver crashes the display server.", ClassDriver},
+		{"syssoft login", "The login program accepts empty passwords under certain conditions.", ClassSysSoft},
+		{"syssoft sshd", "Off-by-one error in sshd allows remote attackers to bypass checks.", ClassSysSoft},
+		{"syssoft cron", "cron mishandles setuid when re-reading crontabs.", ClassSysSoft},
+		{"app browser", "Use-after-free in the web browser allows remote code execution.", ClassApplication},
+		{"app dbms", "SQL injection in the bundled database server discloses records.", ClassApplication},
+		{"app media", "Crafted playlist crashes the media player.", ClassApplication},
+		{"app kerberos", "Double free in the Kerberos library allows remote code execution.", ClassApplication},
+		{"unmatched", "Something entirely unrelated happened.", ClassUnclassified},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.Classify(entryWithSummary(tt.summary)); got != tt.want {
+				_, rule := c.ClassifyExplained(entryWithSummary(tt.summary))
+				t.Fatalf("Classify(%q) = %v (rule %q), want %v", tt.summary, got, rule, tt.want)
+			}
+		})
+	}
+}
+
+func TestRuleOrderDriverBeforeKernel(t *testing.T) {
+	// A driver flaw whose description also mentions packets must stay a
+	// driver flaw: the Driver rule precedes the Kernel rule.
+	c := NewClassifier()
+	e := entryWithSummary("Malformed packet processing in the wireless card driver causes a crash.")
+	got, rule := c.ClassifyExplained(e)
+	if got != ClassDriver {
+		t.Fatalf("Classify = %v via rule %q, want ClassDriver", got, rule)
+	}
+}
+
+func TestWordBoundaries(t *testing.T) {
+	c := NewClassifier()
+	// "gamete" must not trigger the "game" keyword; "sshdx" not "sshd".
+	for _, s := range []string{
+		"The gamete sequencing tool has a flaw.",
+		"The sshdx utility mishandles input.",
+	} {
+		if got := c.Classify(entryWithSummary(s)); got != ClassUnclassified {
+			t.Errorf("Classify(%q) = %v, want ClassUnclassified (substring leak)", s, got)
+		}
+	}
+	// Punctuation must not defeat matching.
+	if got := c.Classify(entryWithSummary("Flaw in sshd: remote bypass.")); got != ClassSysSoft {
+		t.Errorf("punctuated sshd summary classified %v, want SysSoft", got)
+	}
+	if got := c.Classify(entryWithSummary("KERNEL panic on malformed input.")); got != ClassKernel {
+		t.Errorf("uppercase KERNEL classified %v, want Kernel", got)
+	}
+}
+
+func TestOverrideWins(t *testing.T) {
+	c := NewClassifier()
+	e := entryWithSummary("Use-after-free in the web browser allows remote code execution.")
+	if got := c.Classify(e); got != ClassApplication {
+		t.Fatalf("pre-override class = %v, want Application", got)
+	}
+	c.Override(e.ID, ClassKernel)
+	got, rule := c.ClassifyExplained(e)
+	if got != ClassKernel || rule != "override" {
+		t.Fatalf("post-override = (%v, %q), want (Kernel, override)", got, rule)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		ClassDriver:       "Driver",
+		ClassKernel:       "Kernel",
+		ClassSysSoft:      "Sys. Soft.",
+		ClassApplication:  "App.",
+		ClassUnclassified: "Unclassified",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if len(Classes()) != 4 {
+		t.Errorf("Classes() = %d entries, want 4", len(Classes()))
+	}
+}
+
+func TestValidityStrings(t *testing.T) {
+	for v, s := range map[Validity]string{
+		Valid: "Valid", Unknown: "Unknown", Unspecified: "Unspecified", Disputed: "Disputed",
+	} {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), s)
+		}
+	}
+}
+
+func TestNilAndZeroClassifier(t *testing.T) {
+	var nilC *Classifier
+	if got := nilC.Classify(entryWithSummary("kernel panic")); got != ClassUnclassified {
+		t.Error("nil classifier must return Unclassified")
+	}
+	var zero Classifier
+	if got := zero.Classify(entryWithSummary("kernel panic")); got != ClassUnclassified {
+		t.Error("zero classifier (no rules) must return Unclassified")
+	}
+	zero.Override(cve.MustID("CVE-2005-1234"), ClassDriver)
+	if got := zero.Classify(entryWithSummary("anything")); got != ClassDriver {
+		t.Error("override on zero classifier not honored")
+	}
+}
+
+func TestEveryRuleKeywordFires(t *testing.T) {
+	// Guards the rule table against dead keywords: each keyword, embedded
+	// in a neutral sentence, must classify to its rule's class — proving
+	// no earlier rule shadows it.
+	c := NewClassifier()
+	for _, r := range c.Rules() {
+		for _, kw := range r.Keywords {
+			summary := "Issue involving " + kw + " reported."
+			got, rule := c.ClassifyExplained(entryWithSummary(summary))
+			if got != r.Class {
+				t.Errorf("keyword %q of rule %q classified as %v via %q, want %v",
+					kw, r.Name, got, rule, r.Class)
+			}
+		}
+	}
+}
+
+func TestFoldText(t *testing.T) {
+	got := foldText("TCP/IP-stack, v2!")
+	if !strings.Contains(got, " tcp ip stack ") {
+		t.Errorf("foldText output %q lacks normalized phrase", got)
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"osdiversity/internal/osmap"
+	"osdiversity/internal/stats"
+)
+
+// This file quantifies the qualitative observations the paper makes about
+// Figure 2: correlated peaks and valleys inside OS families, and the
+// decline of BSD/Linux report volume in the last five years of the
+// window.
+
+// CorrelationCell is the Pearson correlation between the temporal series
+// of two distributions.
+type CorrelationCell struct {
+	Pair osmap.Pair
+	R    float64
+	// Valid is false when a correlation could not be computed (short or
+	// constant series), in which case R is 0.
+	Valid bool
+}
+
+// FamilyCorrelations computes pairwise Pearson correlations of the
+// yearly publication series within one OS family, over the years where
+// both members had shipped.
+func (s *Study) FamilyCorrelations(f osmap.Family) []CorrelationCell {
+	members := f.Members()
+	var out []CorrelationCell
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			a, b := members[i], members[j]
+			cell := CorrelationCell{Pair: osmap.MakePair(a, b)}
+			xs, ys := s.alignedSince(a, b)
+			if r, err := stats.Pearson(xs, ys); err == nil {
+				cell.R = r
+				cell.Valid = true
+			}
+			out = append(out, cell)
+		}
+	}
+	return out
+}
+
+// alignedSince aligns two temporal series over the years where both
+// members are established: from two years after the later first release
+// (excluding the launch ramp, which rises mechanically while the sibling
+// may already be declining) to the end of the data. When that window is
+// shorter than four points, the ramp exclusion is dropped.
+func (s *Study) alignedSince(a, b osmap.Distro) (xs, ys []float64) {
+	from := a.FirstReleaseYear()
+	if fb := b.FirstReleaseYear(); fb > from {
+		from = fb
+	}
+	_, hi := s.YearRange()
+	if hi-(from+2) >= 3 {
+		from += 2
+	}
+	sa, sb := s.TemporalSeries(a), s.TemporalSeries(b)
+	for y := from; y <= hi; y++ {
+		xs = append(xs, float64(sa[y]))
+		ys = append(ys, float64(sb[y]))
+	}
+	return xs, ys
+}
+
+// MeanFamilyCorrelation averages the valid within-family correlations.
+func (s *Study) MeanFamilyCorrelation(f osmap.Family) (float64, bool) {
+	cells := s.FamilyCorrelations(f)
+	sum, n := 0.0, 0
+	for _, c := range cells {
+		if c.Valid {
+			sum += c.R
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// TrendReport compares an OS's average yearly report volume over two
+// windows — the paper's "less vulnerabilities being reported in the
+// recent past (last 5 years)" observation.
+type TrendReport struct {
+	Distro       osmap.Distro
+	EarlyPerYear float64 // average per year before the split
+	LatePerYear  float64 // average per year from the split on
+	Declining    bool
+}
+
+// Trend computes the report for one distribution with the recent window
+// starting at fromYear (the paper's "last 5 years" is 2006). The early
+// window starts at the OS's first year with data, so pre-release zero
+// years do not dilute the early average.
+func (s *Study) Trend(d osmap.Distro, fromYear int) TrendReport {
+	series := s.TemporalSeries(d)
+	lo, hi := s.YearRange()
+	for y := lo; y <= hi; y++ {
+		if series[y] > 0 {
+			lo = y
+			break
+		}
+	}
+	var early, late, earlyYears, lateYears float64
+	for y := lo; y <= hi; y++ {
+		if y < fromYear {
+			early += float64(series[y])
+			earlyYears++
+		} else {
+			late += float64(series[y])
+			lateYears++
+		}
+	}
+	rep := TrendReport{Distro: d}
+	if earlyYears > 0 {
+		rep.EarlyPerYear = early / earlyYears
+	}
+	if lateYears > 0 {
+		rep.LatePerYear = late / lateYears
+	}
+	rep.Declining = rep.LatePerYear < rep.EarlyPerYear
+	return rep
+}
+
+// FamilyTrend reports whether a family's aggregate volume declines into
+// the recent window.
+func (s *Study) FamilyTrend(f osmap.Family, fromYear int) (TrendReport, error) {
+	members := f.Members()
+	if len(members) == 0 {
+		return TrendReport{}, fmt.Errorf("core: family %v has no members", f)
+	}
+	var agg TrendReport
+	for _, d := range members {
+		r := s.Trend(d, fromYear)
+		agg.EarlyPerYear += r.EarlyPerYear
+		agg.LatePerYear += r.LatePerYear
+	}
+	agg.Declining = agg.LatePerYear < agg.EarlyPerYear
+	return agg, nil
+}
+
+// DiversityScore is an alternative pair metric: 1 − Jaccard overlap of
+// the two OSes' vulnerability sets under a profile. 1.0 means fully
+// disjoint; the paper's cost (raw shared count) ignores set sizes, so
+// this score is the natural normalization for the ablation study.
+func (s *Study) DiversityScore(p osmap.Pair, profile Profile) float64 {
+	both := s.Overlap(p, profile)
+	onlyA := s.Total(p.A, profile) - both
+	onlyB := s.Total(p.B, profile) - both
+	return 1 - stats.Jaccard(onlyA, onlyB, both)
+}
+
+// RankPairsByDiversity orders all 55 pairs by descending diversity
+// score under a profile.
+func (s *Study) RankPairsByDiversity(profile Profile) []osmap.Pair {
+	pairs := osmap.AllPairs()
+	score := make(map[osmap.Pair]float64, len(pairs))
+	for _, p := range pairs {
+		score[p] = s.DiversityScore(p, profile)
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return score[pairs[i]] > score[pairs[j]] })
+	return pairs
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"osdiversity/internal/osmap"
+)
+
+// Strategy selects how replica sets are ranked (§IV-C).
+type Strategy int
+
+// Selection strategies.
+const (
+	// MinPairSum ranks sets by the sum of pairwise shared
+	// vulnerabilities — the paper's diversity cost.
+	MinPairSum Strategy = iota + 1
+	// OnePerFamily is MinPairSum restricted to sets drawing at most one
+	// OS per family. Under this constraint the paper's printed top-3
+	// (Set1, Set2, Set3) emerges exactly.
+	OnePerFamily
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case MinPairSum:
+		return "min-pair-sum"
+	case OnePerFamily:
+		return "one-per-family"
+	default:
+		return "unknown-strategy"
+	}
+}
+
+// RankedSet is one replica configuration with its diversity cost.
+type RankedSet struct {
+	Members []osmap.Distro
+	// Cost is the pairwise-shared-vulnerability sum over the selection
+	// window (the history period when selecting, the observed period
+	// when evaluating).
+	Cost int
+}
+
+// String renders the set as the paper writes it.
+func (r RankedSet) String() string {
+	out := "{"
+	for i, d := range r.Members {
+		if i > 0 {
+			out += ", "
+		}
+		out += d.String()
+	}
+	return fmt.Sprintf("%s} cost=%d", out, r.Cost)
+}
+
+// SelectionWindow bounds the years whose vulnerabilities contribute to
+// the selection cost.
+type SelectionWindow struct {
+	FromYear int // inclusive; 0 means no lower bound
+	ToYear   int // inclusive; 0 means no upper bound
+}
+
+// contains reports whether a year falls in the window.
+func (w SelectionWindow) contains(year int) bool {
+	if w.FromYear != 0 && year < w.FromYear {
+		return false
+	}
+	if w.ToYear != 0 && year > w.ToYear {
+		return false
+	}
+	return true
+}
+
+// PairSharedInWindow counts Isolated-Thin-Server shared vulnerabilities
+// of a pair published inside the window.
+func (s *Study) PairSharedInWindow(p osmap.Pair, w SelectionWindow) int {
+	both := s.bit[p.A] | s.bit[p.B]
+	n := 0
+	for i := range s.records {
+		r := &s.records[i]
+		if r.mask&both == both && r.matches(IsolatedThinServer) && w.contains(r.year) {
+			n++
+		}
+	}
+	return n
+}
+
+// SetCost sums the pairwise shared counts over all pairs of the set —
+// the diversity cost the paper minimizes. A single-member set (the
+// homogeneous baseline) costs its member's total vulnerabilities in the
+// window, since every vulnerability hits all identical replicas.
+func (s *Study) SetCost(members []osmap.Distro, w SelectionWindow) int {
+	if len(members) == 1 {
+		n := 0
+		for i := range s.records {
+			r := &s.records[i]
+			if s.affects(r, members[0]) && r.matches(IsolatedThinServer) && w.contains(r.year) {
+				n++
+			}
+		}
+		return n
+	}
+	cost := 0
+	for _, p := range osmap.PairsOf(members) {
+		cost += s.PairSharedInWindow(p, w)
+	}
+	return cost
+}
+
+// RankReplicaSets enumerates all size-k subsets of the candidates and
+// ranks them by window cost ascending (ties broken by presentation
+// order). OnePerFamily drops sets with two members from one family.
+func (s *Study) RankReplicaSets(candidates []osmap.Distro, k int, strategy Strategy, w SelectionWindow) []RankedSet {
+	var out []RankedSet
+	subset := make([]osmap.Distro, 0, k)
+	var recurse func(start int)
+	recurse = func(start int) {
+		if len(subset) == k {
+			if strategy == OnePerFamily && !onePerFamily(subset) {
+				return
+			}
+			members := append([]osmap.Distro(nil), subset...)
+			out = append(out, RankedSet{Members: members, Cost: s.SetCost(members, w)})
+			return
+		}
+		for i := start; i < len(candidates); i++ {
+			subset = append(subset, candidates[i])
+			recurse(i + 1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	recurse(0)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+	return out
+}
+
+func onePerFamily(members []osmap.Distro) bool {
+	seen := make(map[osmap.Family]bool, 4)
+	for _, d := range members {
+		f := d.Family()
+		if seen[f] {
+			return false
+		}
+		seen[f] = true
+	}
+	return true
+}
+
+// EvaluateConfiguration reproduces one Figure 3 bar pair: the cost of a
+// configuration over the history window and over the observed window.
+func (s *Study) EvaluateConfiguration(members []osmap.Distro, splitYear int) (history, observed int) {
+	history = s.SetCost(members, SelectionWindow{ToYear: splitYear})
+	observed = s.SetCost(members, SelectionWindow{FromYear: splitYear + 1})
+	return history, observed
+}
+
+// MaxDisjointGroup finds the largest subset of the candidates whose
+// pairwise Isolated-Thin-Server overlaps in the window are all at most
+// maxShared (§IV-C closes by exhibiting a six-OS group with few common
+// vulnerabilities). Exhaustive over the ≤2^11 subsets.
+func (s *Study) MaxDisjointGroup(candidates []osmap.Distro, maxShared int, w SelectionWindow) []osmap.Distro {
+	shared := make(map[osmap.Pair]int)
+	for _, p := range osmap.PairsOf(candidates) {
+		shared[p] = s.PairSharedInWindow(p, w)
+	}
+	var best []osmap.Distro
+	n := len(candidates)
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var group []osmap.Distro
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				group = append(group, candidates[i])
+			}
+		}
+		if len(group) <= len(best) {
+			continue
+		}
+		ok := true
+		for _, p := range osmap.PairsOf(group) {
+			if shared[p] > maxShared {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			best = group
+		}
+	}
+	return best
+}

@@ -1,0 +1,549 @@
+// Package core implements the paper's primary contribution: the
+// shared-vulnerability analysis over operating-system distributions.
+//
+// A Study ingests NVD entries (from feeds, the SQL store, or the
+// synthetic corpus — anything that yields cve.Entry values), applies the
+// paper's §III methodology (OS-part selection, validity filtering,
+// clustering into the 11 distributions, component classification), and
+// answers every question the evaluation section asks: per-OS totals,
+// class distributions, pairwise and k-wise overlaps under the three
+// server profiles, temporal splits, replica-set selection and
+// per-release overlaps.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"osdiversity/internal/classify"
+	"osdiversity/internal/cve"
+	"osdiversity/internal/osmap"
+)
+
+// Profile selects the server configuration of §IV-B.
+type Profile int
+
+// The three profiles, from most to least exposed.
+const (
+	// FatServer counts every shared vulnerability ("All").
+	FatServer Profile = iota + 1
+	// ThinServer removes Application-class vulnerabilities.
+	ThinServer
+	// IsolatedThinServer additionally keeps only remotely exploitable
+	// vulnerabilities (CVSS access vector NETWORK or ADJACENT_NETWORK).
+	IsolatedThinServer
+)
+
+// String names the profile as the paper does.
+func (p Profile) String() string {
+	switch p {
+	case FatServer:
+		return "Fat Server"
+	case ThinServer:
+		return "Thin Server"
+	case IsolatedThinServer:
+		return "Isolated Thin Server"
+	default:
+		return "Unknown Profile"
+	}
+}
+
+// Profiles lists the three profiles in Table III column order.
+func Profiles() []Profile { return []Profile{FatServer, ThinServer, IsolatedThinServer} }
+
+// record is the per-entry digest the analyses run on.
+type record struct {
+	entry    *cve.Entry
+	mask     uint16 // bit i set = affects Distros()[i]
+	class    classify.Class
+	remote   bool
+	year     int
+	validity classify.Validity
+	products int // distinct (vendor, product) platforms
+}
+
+// Study is the analysis engine. Construct with NewStudy.
+type Study struct {
+	registry   *osmap.Registry
+	classifier *classify.Classifier
+	records    []record // valid entries only
+	invalid    []record // entries removed by the validity filter
+	skipped    int      // entries with no clustered OS product
+	bit        map[osmap.Distro]uint16
+}
+
+// Option configures a Study.
+type Option func(*Study)
+
+// WithRegistry substitutes the OS registry (the default is the study's
+// 64-CPE registry).
+func WithRegistry(r *osmap.Registry) Option {
+	return func(s *Study) { s.registry = r }
+}
+
+// WithClassifier substitutes the component classifier.
+func WithClassifier(c *classify.Classifier) Option {
+	return func(s *Study) { s.classifier = c }
+}
+
+// NewStudy ingests entries and precomputes the per-entry digests.
+// Entries that do not touch any of the 11 clustered distributions are
+// ignored (the paper keeps only its 64 CPEs); entries tagged Unknown,
+// Unspecified or Disputed are kept aside and reported by ValidityTable
+// but excluded from every analysis, exactly as in §III-A.
+func NewStudy(entries []*cve.Entry, opts ...Option) *Study {
+	s := &Study{
+		registry:   osmap.NewRegistry(),
+		classifier: classify.NewClassifier(),
+		bit:        make(map[osmap.Distro]uint16, osmap.NumDistros),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	for i, d := range osmap.Distros() {
+		s.bit[d] = 1 << uint(i)
+	}
+	for _, e := range entries {
+		rec, ok := s.digest(e)
+		if !ok {
+			s.skipped++
+			continue
+		}
+		if rec.validity != classify.Valid {
+			s.invalid = append(s.invalid, rec)
+			continue
+		}
+		s.records = append(s.records, rec)
+	}
+	return s
+}
+
+func (s *Study) digest(e *cve.Entry) (record, bool) {
+	var mask uint16
+	productSet := make(map[string]bool, len(e.Products))
+	for _, p := range e.Products {
+		if !p.IsOS() {
+			continue
+		}
+		productSet[p.Vendor+"/"+p.Product] = true
+		if d, ok := s.registry.Cluster(p); ok {
+			mask |= s.bit[d]
+		}
+	}
+	if mask == 0 {
+		return record{}, false
+	}
+	return record{
+		entry:    e,
+		mask:     mask,
+		class:    s.classifier.Classify(e),
+		remote:   e.Remote(),
+		year:     e.Year(),
+		validity: classify.EntryValidity(e),
+		products: len(productSet),
+	}, true
+}
+
+// matches reports whether the record survives the profile filter.
+func (r *record) matches(p Profile) bool {
+	switch p {
+	case FatServer:
+		return true
+	case ThinServer:
+		return r.class != classify.ClassApplication
+	case IsolatedThinServer:
+		return r.class != classify.ClassApplication && r.remote
+	default:
+		return false
+	}
+}
+
+// affects reports whether the record touches the distribution.
+func (s *Study) affects(r *record, d osmap.Distro) bool { return r.mask&s.bit[d] != 0 }
+
+// ValidEntries returns the number of valid entries under analysis.
+func (s *Study) ValidEntries() int { return len(s.records) }
+
+// SkippedEntries returns the number of ingested entries that touched no
+// clustered OS product.
+func (s *Study) SkippedEntries() int { return s.skipped }
+
+// ValidityRow is one row of Table I.
+type ValidityRow struct {
+	Distro      osmap.Distro
+	Valid       int
+	Unknown     int
+	Unspecified int
+	Disputed    int
+}
+
+// ValidityTable reproduces Table I: per-OS valid/removed counts plus the
+// distinct totals across all OSes.
+func (s *Study) ValidityTable() (rows []ValidityRow, distinct ValidityRow) {
+	rows = make([]ValidityRow, 0, osmap.NumDistros)
+	for _, d := range osmap.Distros() {
+		row := ValidityRow{Distro: d}
+		for i := range s.records {
+			if s.affects(&s.records[i], d) {
+				row.Valid++
+			}
+		}
+		for i := range s.invalid {
+			if !s.affects(&s.invalid[i], d) {
+				continue
+			}
+			switch s.invalid[i].validity {
+			case classify.Unknown:
+				row.Unknown++
+			case classify.Unspecified:
+				row.Unspecified++
+			case classify.Disputed:
+				row.Disputed++
+			}
+		}
+		rows = append(rows, row)
+	}
+	distinct.Valid = len(s.records)
+	for i := range s.invalid {
+		switch s.invalid[i].validity {
+		case classify.Unknown:
+			distinct.Unknown++
+		case classify.Unspecified:
+			distinct.Unspecified++
+		case classify.Disputed:
+			distinct.Disputed++
+		}
+	}
+	return rows, distinct
+}
+
+// ClassRow is one row of Table II.
+type ClassRow struct {
+	Distro  osmap.Distro
+	Driver  int
+	Kernel  int
+	SysSoft int
+	App     int
+}
+
+// Total returns the row sum.
+func (r ClassRow) Total() int { return r.Driver + r.Kernel + r.SysSoft + r.App }
+
+// ClassTable reproduces Table II: per-OS component-class counts and the
+// distinct-vulnerability percentage shares of the four classes.
+func (s *Study) ClassTable() (rows []ClassRow, shares [4]float64) {
+	rows = make([]ClassRow, 0, osmap.NumDistros)
+	for _, d := range osmap.Distros() {
+		row := ClassRow{Distro: d}
+		for i := range s.records {
+			if !s.affects(&s.records[i], d) {
+				continue
+			}
+			switch s.records[i].class {
+			case classify.ClassDriver:
+				row.Driver++
+			case classify.ClassKernel:
+				row.Kernel++
+			case classify.ClassSysSoft:
+				row.SysSoft++
+			case classify.ClassApplication:
+				row.App++
+			}
+		}
+		rows = append(rows, row)
+	}
+	var counts [4]int
+	for i := range s.records {
+		switch s.records[i].class {
+		case classify.ClassDriver:
+			counts[0]++
+		case classify.ClassKernel:
+			counts[1]++
+		case classify.ClassSysSoft:
+			counts[2]++
+		case classify.ClassApplication:
+			counts[3]++
+		}
+	}
+	if n := len(s.records); n > 0 {
+		for i := range counts {
+			shares[i] = 100 * float64(counts[i]) / float64(n)
+		}
+	}
+	return rows, shares
+}
+
+// Total counts the valid vulnerabilities of one distribution under a
+// profile (the v(A) columns of Table III).
+func (s *Study) Total(d osmap.Distro, profile Profile) int {
+	n := 0
+	for i := range s.records {
+		r := &s.records[i]
+		if s.affects(r, d) && r.matches(profile) {
+			n++
+		}
+	}
+	return n
+}
+
+// Overlap counts the vulnerabilities shared by both members of a pair
+// under a profile (the v(AB) columns of Table III).
+func (s *Study) Overlap(p osmap.Pair, profile Profile) int {
+	both := s.bit[p.A] | s.bit[p.B]
+	n := 0
+	for i := range s.records {
+		r := &s.records[i]
+		if r.mask&both == both && r.matches(profile) {
+			n++
+		}
+	}
+	return n
+}
+
+// PairMatrix computes all 55 pairwise overlaps under a profile.
+func (s *Study) PairMatrix(profile Profile) map[osmap.Pair]int {
+	out := make(map[osmap.Pair]int, 55)
+	for _, p := range osmap.AllPairs() {
+		out[p] = s.Overlap(p, profile)
+	}
+	return out
+}
+
+// PartCounts breaks an Isolated-Thin-Server overlap down by component
+// class (one row of Table IV).
+type PartCounts struct {
+	Driver  int
+	Kernel  int
+	SysSoft int
+}
+
+// Total sums the row.
+func (p PartCounts) Total() int { return p.Driver + p.Kernel + p.SysSoft }
+
+// PartBreakdown reproduces one pair's Table IV row.
+func (s *Study) PartBreakdown(p osmap.Pair) PartCounts {
+	both := s.bit[p.A] | s.bit[p.B]
+	var out PartCounts
+	for i := range s.records {
+		r := &s.records[i]
+		if r.mask&both != both || !r.matches(IsolatedThinServer) {
+			continue
+		}
+		switch r.class {
+		case classify.ClassDriver:
+			out.Driver++
+		case classify.ClassKernel:
+			out.Kernel++
+		case classify.ClassSysSoft:
+			out.SysSoft++
+		}
+	}
+	return out
+}
+
+// PeriodCounts splits an overlap into history and observed periods
+// (one cell of Table V).
+type PeriodCounts struct {
+	History  int
+	Observed int
+}
+
+// Total sums the cell.
+func (p PeriodCounts) Total() int { return p.History + p.Observed }
+
+// PeriodSplit reproduces one pair's Table V cell: Isolated-Thin-Server
+// overlap split at splitYear (inclusive on the history side).
+func (s *Study) PeriodSplit(p osmap.Pair, splitYear int) PeriodCounts {
+	both := s.bit[p.A] | s.bit[p.B]
+	var out PeriodCounts
+	for i := range s.records {
+		r := &s.records[i]
+		if r.mask&both != both || !r.matches(IsolatedThinServer) {
+			continue
+		}
+		if r.year <= splitYear {
+			out.History++
+		} else {
+			out.Observed++
+		}
+	}
+	return out
+}
+
+// TemporalSeries reproduces one curve of Figure 2: valid vulnerabilities
+// per publication year for one distribution.
+func (s *Study) TemporalSeries(d osmap.Distro) map[int]int {
+	out := make(map[int]int)
+	for i := range s.records {
+		if s.affects(&s.records[i], d) {
+			out[s.records[i].year]++
+		}
+	}
+	return out
+}
+
+// YearRange returns the [min, max] publication years across the valid
+// data set.
+func (s *Study) YearRange() (lo, hi int) {
+	if len(s.records) == 0 {
+		return 0, 0
+	}
+	lo, hi = s.records[0].year, s.records[0].year
+	for i := range s.records {
+		y := s.records[i].year
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	return lo, hi
+}
+
+// KWiseClusters counts, for each set size k, the number of distinct
+// valid vulnerabilities affecting at least k of the 11 distributions
+// under the profile.
+func (s *Study) KWiseClusters(profile Profile) map[int]int {
+	out := make(map[int]int)
+	for i := range s.records {
+		r := &s.records[i]
+		if !r.matches(profile) {
+			continue
+		}
+		n := popcount(r.mask)
+		for k := 2; k <= n; k++ {
+			out[k]++
+		}
+	}
+	return out
+}
+
+// KWiseProducts counts distinct valid vulnerabilities affecting at least
+// k OS *products* (the granularity of the paper's §IV-B sentences about
+// six- and nine-OS vulnerabilities).
+func (s *Study) KWiseProducts(profile Profile) map[int]int {
+	out := make(map[int]int)
+	for i := range s.records {
+		r := &s.records[i]
+		if !r.matches(profile) {
+			continue
+		}
+		for k := 2; k <= r.products; k++ {
+			out[k]++
+		}
+	}
+	return out
+}
+
+// MostSharedEntries returns the valid entries affecting the most OS
+// products, descending, limited to n.
+func (s *Study) MostSharedEntries(n int) []*cve.Entry {
+	recs := make([]*record, 0, len(s.records))
+	for i := range s.records {
+		recs = append(recs, &s.records[i])
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].products != recs[j].products {
+			return recs[i].products > recs[j].products
+		}
+		return recs[i].entry.ID.Less(recs[j].entry.ID)
+	})
+	if n > len(recs) {
+		n = len(recs)
+	}
+	out := make([]*cve.Entry, n)
+	for i := 0; i < n; i++ {
+		out[i] = recs[i].entry
+	}
+	return out
+}
+
+// FilterReduction computes §IV-E(1): the average relative reduction of
+// pairwise overlap going from one profile to another, over pairs with a
+// non-zero baseline.
+func (s *Study) FilterReduction(from, to Profile) float64 {
+	var sum float64
+	n := 0
+	for _, p := range osmap.AllPairs() {
+		base := s.Overlap(p, from)
+		if base == 0 {
+			continue
+		}
+		reduced := s.Overlap(p, to)
+		sum += float64(base-reduced) / float64(base)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * sum / float64(n)
+}
+
+// ReleaseOverlap counts valid Isolated-Thin-Server vulnerabilities that
+// affect both named (distribution, version) releases, deriving release
+// membership from the CPE version fields (Table VI).
+func (s *Study) ReleaseOverlap(da osmap.Distro, va string, db osmap.Distro, vb string) int {
+	n := 0
+	for i := range s.records {
+		r := &s.records[i]
+		if !r.matches(IsolatedThinServer) {
+			continue
+		}
+		if s.affectsRelease(r, da, va) && s.affectsRelease(r, db, vb) {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Study) affectsRelease(r *record, d osmap.Distro, version string) bool {
+	for _, p := range r.entry.Products {
+		if got, ok := s.registry.Cluster(p); ok && got == d && p.Version == version {
+			return true
+		}
+	}
+	return false
+}
+
+// VulnRef is one valid vulnerability with its affected distributions,
+// the digest the attack model consumes.
+type VulnRef struct {
+	ID      cve.ID
+	Distros []osmap.Distro
+}
+
+// Vulnerabilities lists the valid vulnerabilities surviving the profile
+// filter, each with its affected distributions, sorted by ID.
+func (s *Study) Vulnerabilities(profile Profile) []VulnRef {
+	var out []VulnRef
+	for i := range s.records {
+		r := &s.records[i]
+		if !r.matches(profile) {
+			continue
+		}
+		ref := VulnRef{ID: r.entry.ID}
+		for _, d := range osmap.Distros() {
+			if s.affects(r, d) {
+				ref.Distros = append(ref.Distros, d)
+			}
+		}
+		out = append(out, ref)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}
+
+// Describe summarizes the study for logs and CLIs.
+func (s *Study) Describe() string {
+	return fmt.Sprintf("study: %d valid, %d removed, %d skipped entries",
+		len(s.records), len(s.invalid), s.skipped)
+}
+
+func popcount(x uint16) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

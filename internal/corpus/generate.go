@@ -1,0 +1,544 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+
+	"osdiversity/internal/classify"
+	"osdiversity/internal/cpe"
+	"osdiversity/internal/cve"
+	"osdiversity/internal/osmap"
+	"osdiversity/internal/paperdata"
+)
+
+// Period constraints on a spec's publication year.
+const (
+	periodFree = iota
+	periodHistory
+	periodObserved
+)
+
+// Spec is one planned vulnerability before rendering into a cve.Entry.
+type Spec struct {
+	// Clusters are the affected distributions (ascending).
+	Clusters osSet
+	// Extras are affected products outside the 11 clusters.
+	Extras []cpe.Name
+	// Class is the component class the entry's description will encode.
+	Class classify.Class
+	// Remote marks remotely exploitable entries (CVSS access vector).
+	Remote bool
+	// Period constrains Year to the history or observed window.
+	Period int
+	// Year is the publication year (assigned late).
+	Year int
+	// Validity is Valid for study entries; invalid specs render the
+	// corresponding editorial tag into their summary.
+	Validity classify.Validity
+	// Releases overrides the affected release versions per distribution;
+	// nil means "the release current at the publication year".
+	Releases map[osmap.Distro][]string
+	// PreRelease marks the seven Windows 2000 entries published before
+	// the product's 1999/2000 launch (§IV-A).
+	PreRelease bool
+	// FixedID pins the CVE identifier (used by the named CVEs).
+	FixedID string
+	// Summary overrides the generated description (named CVEs).
+	Summary string
+}
+
+// Corpus is the generated population plus its calibration diagnostics.
+type Corpus struct {
+	Specs   []*Spec
+	Entries []*cve.Entry
+	// Problems lists constraints the constructive algorithm could not
+	// satisfy exactly; an empty slice means perfect calibration of the
+	// constructive targets.
+	Problems []string
+
+	// mergedReduction tracks progress toward targetReduction across the
+	// specials and all tier decompositions.
+	mergedReduction int
+}
+
+// targetReduction is Σ (k-1)(k-2)/2 · n_k implied by the paper's own
+// marginals: Table I gives Σ n_k = 1887 and Σ k·n_k = 2556, Table III
+// gives Σ C(k,2)·n_k = 850, hence the higher-order term must equal
+// 850 − (2556 − 1887) = 181. The voluntary merge pass drives the
+// decomposition toward it so the distinct-vulnerability count lands on
+// the paper's 1887.
+const targetReduction = 181
+
+// Generate builds the calibrated corpus. The construction is
+// deterministic: same output on every call.
+func Generate() (*Corpus, error) {
+	c := &Corpus{}
+
+	specials := c.planSpecials()
+	for _, s := range specials {
+		c.mergedReduction += setReduction(len(s.Clusters))
+	}
+	remoteSets, remoteClassUse := c.planRemoteTier(specials)
+	localSets, _ := c.planLocalTier(remoteClassUse)
+	appSets := c.planAppTier()
+
+	c.Specs = append(c.Specs, specials...)
+	c.Specs = append(c.Specs, remoteSets...)
+	c.Specs = append(c.Specs, localSets...)
+	c.Specs = append(c.Specs, appSets...)
+
+	c.planSingles()
+	c.wireReleaseStudy()
+	c.pinDebianBaseline()
+	c.assignYears()
+	c.planInvalid()
+	c.assignIDs()
+	if err := c.render(); err != nil {
+		return nil, err
+	}
+	c.augmentProducts()
+	return c, nil
+}
+
+// planSpecials expands paperdata.SpecialCVEs into specs.
+func (c *Corpus) planSpecials() []*Spec {
+	var out []*Spec
+	for _, s := range paperdata.SpecialCVEs {
+		spec := &Spec{
+			Clusters: newOSSet(s.Clusters...),
+			Class:    classify.ClassKernel,
+			Remote:   true,
+			Period:   periodObserved,
+			Year:     s.Year,
+			FixedID:  s.ID,
+			Summary:  s.Summary,
+		}
+		for _, uri := range s.ExtraProducts {
+			spec.Extras = append(spec.Extras, cpe.MustParse(uri))
+		}
+		out = append(out, spec)
+	}
+	return out
+}
+
+// classUse tracks per-OS consumption of each component class.
+type classUse map[osmap.Distro]*[4]int // indices: 0 driver, 1 kernel, 2 syssoft, 3 app
+
+func (u classUse) add(d osmap.Distro, class int, n int) {
+	arr, ok := u[d]
+	if !ok {
+		arr = new([4]int)
+		u[d] = arr
+	}
+	arr[class] += n
+}
+
+func (u classUse) get(d osmap.Distro, class int) int {
+	if arr, ok := u[d]; ok {
+		return arr[class]
+	}
+	return 0
+}
+
+const (
+	classIdxDriver = iota
+	classIdxKernel
+	classIdxSysSoft
+	classIdxApp
+)
+
+func classOfIdx(i int) classify.Class {
+	switch i {
+	case classIdxDriver:
+		return classify.ClassDriver
+	case classIdxKernel:
+		return classify.ClassKernel
+	case classIdxSysSoft:
+		return classify.ClassSysSoft
+	default:
+		return classify.ClassApplication
+	}
+}
+
+// planRemoteTier decomposes the Isolated-Thin-Server overlaps (Table III
+// remote column) into sets bucketed by part (Table IV) and period
+// (Table V), after subtracting the special CVEs.
+func (c *Corpus) planRemoteTier(specials []*Spec) ([]*Spec, classUse) {
+	use := make(classUse)
+	preUsed := make(map[osmap.Distro]int)
+	specialPairs := make(pairMatrix)
+	for _, s := range specials {
+		for _, d := range s.Clusters {
+			preUsed[d]++
+			use.add(d, classIdxKernel, 1)
+		}
+		for _, p := range s.Clusters.pairs() {
+			specialPairs[p]++
+		}
+	}
+
+	matrices := map[bucket]pairMatrix{}
+	addCell := func(b bucket, p osmap.Pair, n int) {
+		if n == 0 {
+			return
+		}
+		m, ok := matrices[b]
+		if !ok {
+			m = make(pairMatrix)
+			matrices[b] = m
+		}
+		m[p] += n
+	}
+
+	for p, counts := range paperdata.PairTable {
+		if counts.Remote == 0 {
+			continue
+		}
+		parts := paperdata.PartTable[p]
+		partArr := [3]int{parts.Driver, parts.Kernel, parts.SysSoft}
+
+		var periods [2]int
+		if pc, ok := paperdata.PeriodTable[p]; ok {
+			periods = [2]int{pc.History, pc.Observed}
+		} else {
+			// Pairs involving Ubuntu, OpenSolaris or Windows 2008 are
+			// not in Table V; their members shipped late, so their
+			// shared vulnerabilities fall in the observed period.
+			periods = [2]int{0, counts.Remote}
+		}
+
+		// Subtract the special CVEs (kernel class, observed period).
+		if n := specialPairs[p]; n > 0 {
+			partArr[1] -= n
+			periods[1] -= n
+			if partArr[1] < 0 || periods[1] < 0 {
+				c.Problems = append(c.Problems,
+					fmt.Sprintf("special CVEs overdraw pair %v (kernel %d, observed %d)", p, partArr[1], periods[1]))
+				if partArr[1] < 0 {
+					partArr[1] = 0
+				}
+				if periods[1] < 0 {
+					periods[1] = 0
+				}
+			}
+		}
+
+		joint := splitPartPeriod(partArr, periods)
+		for part := 0; part < 3; part++ {
+			for period := 0; period < 2; period++ {
+				addCell(bucket{part: part, period: period + 1}, p, joint[part][period])
+			}
+		}
+	}
+
+	dec := decomposeTier(matrices, paperdata.RemoteTotals, preUsed)
+	c.Problems = append(c.Problems, dec.problems...)
+	c.mergedReduction += decReduction(dec)
+	c.voluntaryMerges(dec)
+
+	var out []*Spec
+	for _, b := range bucketOrder(dec) {
+		for _, g := range dec.buckets[b] {
+			for i := 0; i < g.count; i++ {
+				spec := &Spec{
+					Clusters: g.set,
+					Class:    classOfIdx(b.part),
+					Remote:   true,
+					Period:   b.period,
+				}
+				out = append(out, spec)
+				for _, d := range g.set {
+					use.add(d, b.part, 1)
+				}
+			}
+		}
+	}
+	return out, use
+}
+
+// planLocalTier decomposes the local non-application overlaps
+// (NoApp − Remote) and assigns each set Kernel or SysSoft based on the
+// class budget left by Table II after the remote tier.
+func (c *Corpus) planLocalTier(remoteUse classUse) ([]*Spec, classUse) {
+	matrix := make(pairMatrix)
+	for p, counts := range paperdata.PairTable {
+		if n := counts.NoApp - counts.Remote; n > 0 {
+			matrix[p] = n
+		}
+	}
+	budget := make(map[osmap.Distro]int, osmap.NumDistros)
+	for _, d := range osmap.Distros() {
+		budget[d] = paperdata.ClassTable[d].NonApp() - paperdata.RemoteTotals[d]
+	}
+	dec := decomposeTier(map[bucket]pairMatrix{{}: matrix}, budget, nil)
+	c.Problems = append(c.Problems, dec.problems...)
+	c.mergedReduction += decReduction(dec)
+	c.voluntaryMerges(dec)
+
+	use := make(classUse)
+	remaining := func(d osmap.Distro, idx int) int {
+		row := paperdata.ClassTable[d]
+		totals := [4]int{row.Driver, row.Kernel, row.SysSoft, row.App}
+		return totals[idx] - remoteUse.get(d, idx) - use.get(d, idx)
+	}
+
+	var out []*Spec
+	sets := dec.allSets()
+	// Larger sets first: they are the most constrained.
+	sort.SliceStable(sets, func(i, j int) bool { return len(sets[i].set) > len(sets[j].set) })
+	for _, g := range sets {
+		for i := 0; i < g.count; i++ {
+			// Choose Kernel or SysSoft, whichever has more remaining
+			// headroom across the members (Driver is never assigned to
+			// shared local vulnerabilities: Table IV's driver cells are
+			// the only shared driver flaws in the study).
+			kernelRoom, syssoftRoom := 1<<30, 1<<30
+			for _, d := range g.set {
+				kernelRoom = min(kernelRoom, remaining(d, classIdxKernel))
+				syssoftRoom = min(syssoftRoom, remaining(d, classIdxSysSoft))
+			}
+			idx := classIdxKernel
+			if syssoftRoom > kernelRoom {
+				idx = classIdxSysSoft
+			}
+			if max(kernelRoom, syssoftRoom) <= 0 {
+				c.Problems = append(c.Problems,
+					fmt.Sprintf("no class budget left for local shared set %v", g.set))
+			}
+			spec := &Spec{Clusters: g.set, Class: classOfIdx(idx), Remote: false, Period: periodFree}
+			out = append(out, spec)
+			for _, d := range g.set {
+				use.add(d, idx, 1)
+			}
+		}
+	}
+	return out, use
+}
+
+// planAppTier decomposes the application overlaps (All − NoApp).
+func (c *Corpus) planAppTier() []*Spec {
+	matrix := make(pairMatrix)
+	for p, counts := range paperdata.PairTable {
+		if n := counts.All - counts.NoApp; n > 0 {
+			matrix[p] = n
+		}
+	}
+	budget := make(map[osmap.Distro]int, osmap.NumDistros)
+	for _, d := range osmap.Distros() {
+		budget[d] = paperdata.ClassTable[d].App
+	}
+	dec := decomposeTier(map[bucket]pairMatrix{{}: matrix}, budget, nil)
+	c.Problems = append(c.Problems, dec.problems...)
+	c.mergedReduction += decReduction(dec)
+	c.voluntaryMerges(dec)
+
+	var out []*Spec
+	i := 0
+	for _, g := range dec.allSets() {
+		for k := 0; k < g.count; k++ {
+			out = append(out, &Spec{
+				Clusters: g.set,
+				Class:    classify.ClassApplication,
+				// Server applications skew remote; alternate 2:1.
+				Remote: i%3 != 2,
+				Period: periodFree,
+			})
+			i++
+		}
+	}
+	return out
+}
+
+// planSingles tops every (OS, class) cell of Table II up to its printed
+// value with single-OS vulnerabilities, and splits the non-application
+// singles between remote and local so the per-OS remote totals hold.
+// All shared specs must already be in c.Specs.
+func (c *Corpus) planSingles() {
+	classConsumed := make(classUse)
+	remoteConsumed := make(map[osmap.Distro]int)
+	for _, s := range c.Specs {
+		idx := classToIdx(s.Class)
+		for _, d := range s.Clusters {
+			classConsumed.add(d, idx, 1)
+			if s.Remote && idx != classIdxApp {
+				remoteConsumed[d]++
+			}
+		}
+	}
+
+	for _, d := range osmap.Distros() {
+		row := paperdata.ClassTable[d]
+		totals := [4]int{row.Driver, row.Kernel, row.SysSoft, row.App}
+		var singles [4]int
+		for idx := 0; idx < 4; idx++ {
+			n := totals[idx] - classConsumed.get(d, idx)
+			if n < 0 {
+				c.Problems = append(c.Problems,
+					fmt.Sprintf("%v: class %d over-consumed by %d", d, idx, -n))
+				n = 0
+			}
+			singles[idx] = n
+		}
+
+		remoteQuota := paperdata.RemoteTotals[d] - remoteConsumed[d]
+		if remoteQuota < 0 {
+			c.Problems = append(c.Problems,
+				fmt.Sprintf("%v: remote budget over-consumed by %d", d, -remoteQuota))
+			remoteQuota = 0
+		}
+
+		preRelease := 0
+		if d == osmap.Windows2000 {
+			preRelease = paperdata.Windows2000PreReleaseEntries
+		}
+
+		// Non-app singles drain the remote quota kernel-first.
+		for _, idx := range []int{classIdxKernel, classIdxSysSoft, classIdxDriver} {
+			for i := 0; i < singles[idx]; i++ {
+				spec := &Spec{Clusters: newOSSet(d), Class: classOfIdx(idx), Period: periodFree}
+				if remoteQuota > 0 {
+					spec.Remote = true
+					remoteQuota--
+				}
+				if preRelease > 0 && idx == classIdxKernel {
+					spec.PreRelease = true
+					preRelease--
+				}
+				c.Specs = append(c.Specs, spec)
+			}
+		}
+		if remoteQuota > 0 {
+			c.Problems = append(c.Problems,
+				fmt.Sprintf("%v: %d remote slots left unassigned", d, remoteQuota))
+		}
+		for i := 0; i < singles[classIdxApp]; i++ {
+			c.Specs = append(c.Specs, &Spec{
+				Clusters: newOSSet(d),
+				Class:    classify.ClassApplication,
+				Remote:   i%3 != 2,
+				Period:   periodFree,
+			})
+		}
+	}
+}
+
+func classToIdx(class classify.Class) int {
+	switch class {
+	case classify.ClassDriver:
+		return classIdxDriver
+	case classify.ClassKernel:
+		return classIdxKernel
+	case classify.ClassSysSoft:
+		return classIdxSysSoft
+	default:
+		return classIdxApp
+	}
+}
+
+// wireReleaseStudy pins the release versions that reproduce Table VI:
+// the single observed-period Debian-RedHat shared vulnerability affects
+// Debian 4.0 and both RedHat 4.0 and 5.0; one Debian remote single spans
+// Debian 3.0 and 4.0. Every other vulnerability affects one release, so
+// all remaining studied cells stay zero.
+func (c *Corpus) wireReleaseStudy() {
+	var shared *Spec
+	for _, s := range c.Specs {
+		if s.Validity != classify.Valid || !s.Remote || s.Class == classify.ClassApplication {
+			continue
+		}
+		if !s.Clusters.contains(osmap.Debian) || !s.Clusters.contains(osmap.RedHat) ||
+			s.Period != periodObserved || s.Releases != nil {
+			continue
+		}
+		// The merge pass may have folded the Debian-RedHat pair into a
+		// larger set; any observed remote set containing both works, as
+		// long as every member had shipped by 2007.
+		ok := true
+		for _, d := range s.Clusters {
+			if d.FirstReleaseYear() > 2007 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			shared = s
+			break
+		}
+	}
+	if shared == nil {
+		c.Problems = append(c.Problems, "no observed Debian-RedHat remote pair for Table VI")
+	} else {
+		shared.Year = 2007
+		shared.Releases = map[osmap.Distro][]string{
+			osmap.Debian: {"4.0"},
+			osmap.RedHat: {"4.0", "5.0"},
+		}
+	}
+
+	var single *Spec
+	for _, s := range c.Specs {
+		if s.Validity == classify.Valid && s.Remote && s.Class != classify.ClassApplication &&
+			len(s.Clusters) == 1 && s.Clusters[0] == osmap.Debian && s.Releases == nil {
+			single = s
+			break
+		}
+	}
+	if single == nil {
+		c.Problems = append(c.Problems, "no Debian remote single for Table VI cross-release cell")
+	} else {
+		single.Year = 2007
+		single.Period = periodObserved
+		single.Releases = map[osmap.Distro][]string{osmap.Debian: {"3.0", "4.0"}}
+	}
+}
+
+// pinDebianBaseline fixes Debian's Isolated-Thin-Server history count to
+// the paper's Figure 3 baseline (16 of its 25 remote vulnerabilities fall
+// in 1994-2005). Shared remote sets already carry hard periods from
+// Table V; the free mass is Debian's remote singles, which get period
+// constraints here so the homogeneous-replica experiment reproduces.
+func (c *Corpus) pinDebianBaseline() {
+	target := paperdata.Figure3Expected["Debian"].History
+	hist := 0
+	var free []*Spec
+	for _, s := range c.Specs {
+		if s.Validity != classify.Valid || !s.Remote || s.Class == classify.ClassApplication {
+			continue
+		}
+		if !s.Clusters.contains(osmap.Debian) {
+			continue
+		}
+		switch {
+		case s.Period == periodHistory, s.Year != 0 && s.Year <= paperdata.HistoryEndYear:
+			hist++
+		case s.Period == periodFree && s.Year == 0:
+			free = append(free, s)
+		}
+	}
+	for _, s := range free {
+		if hist < target {
+			s.Period = periodHistory
+			hist++
+		} else {
+			s.Period = periodObserved
+		}
+	}
+	if hist != target {
+		c.Problems = append(c.Problems,
+			fmt.Sprintf("Debian baseline: history count %d, want %d", hist, target))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+package corpus
+
+import (
+	"fmt"
+	"time"
+
+	"osdiversity/internal/classify"
+	"osdiversity/internal/cpe"
+	"osdiversity/internal/cve"
+	"osdiversity/internal/cvss"
+	"osdiversity/internal/osmap"
+)
+
+// registry is the shared OS registry used for canonical names and
+// release timelines.
+var registry = osmap.NewRegistry()
+
+// summaryTemplates provides description templates per component class.
+// Each template contains keywords of exactly its class's rule (checked
+// by tests against the classify package), so the hand-classification
+// substitute reproduces the intended class for every generated entry.
+var summaryTemplates = map[classify.Class][]string{
+	classify.ClassDriver: {
+		"Buffer overflow in the wireless card driver allows %s attackers to execute arbitrary code via crafted frames.",
+		"Memory corruption in the video card driver allows %s attackers to cause a denial of service via a malformed request.",
+		"Integer overflow in the audio card driver allows %s attackers to overwrite heap memory.",
+		"Race condition in the usb device driver allows %s attackers to gain privileges via a crafted descriptor.",
+	},
+	classify.ClassKernel: {
+		"Integer overflow in the kernel memory management allows %s attackers to execute arbitrary code via a crafted mapping.",
+		"The TCP implementation in the kernel allows %s attackers to cause a denial of service via crafted segments.",
+		"Race condition in the file system layer of the kernel allows %s attackers to read arbitrary memory.",
+		"Off-by-one error in the kernel signal handling allows %s attackers to gain privileges.",
+		"The IP implementation in the kernel allows %s attackers to cause a denial of service via malformed fragment reassembly.",
+		"Heap-based buffer overflow in the kernel system call interface allows %s attackers to gain privileges via crafted arguments.",
+	},
+	classify.ClassSysSoft: {
+		"Off-by-one error in sshd allows %s attackers to bypass authentication via a crafted handshake.",
+		"Format string vulnerability in syslogd allows %s attackers to execute arbitrary code via crafted messages.",
+		"Race condition in cron allows %s attackers to gain privileges via a symlink attack.",
+		"Buffer overflow in the login program allows %s attackers to gain privileges via a long environment variable.",
+		"Untrusted search path in sudo allows %s attackers to execute arbitrary commands.",
+		"Stack-based buffer overflow in ntpd allows %s attackers to execute arbitrary code via a crafted packet.",
+	},
+	classify.ClassApplication: {
+		"Use-after-free in the bundled web browser allows %s attackers to execute arbitrary code via a crafted page.",
+		"SQL injection in the bundled database server allows %s attackers to read arbitrary records.",
+		"Heap-based buffer overflow in the media player allows %s attackers to execute arbitrary code via a crafted playlist.",
+		"Directory traversal in the ftp server allows %s attackers to read arbitrary files.",
+		"Double free in the kerberos library allows %s attackers to execute arbitrary code via crafted tickets.",
+		"Cross-site scripting in the bundled web server allows %s attackers to inject arbitrary script.",
+	},
+}
+
+// validityPrefixes renders the NVD editorial tags the paper filters on.
+var validityPrefixes = map[classify.Validity]string{
+	classify.Unknown:     "Unknown vulnerability in ",
+	classify.Unspecified: "Unspecified vulnerability in ",
+	classify.Disputed:    "** DISPUTED ** Issue in ",
+}
+
+// invalidSubjects vary the invalid-entry descriptions.
+var invalidSubjects = []string{
+	"the operating system allows attackers to cause unspecified impact.",
+	"an unknown component has unspecified attack vectors and impact.",
+	"the base system allows attackers to compromise the platform via unknown vectors.",
+}
+
+// remoteVectors and localVectors supply CVSS base vectors consistent
+// with each spec's locality.
+var remoteVectors = []cvss.Vector{
+	cvss.MustParse("AV:N/AC:L/Au:N/C:P/I:P/A:P"),
+	cvss.MustParse("AV:N/AC:M/Au:N/C:N/I:N/A:C"),
+	cvss.MustParse("AV:N/AC:L/Au:N/C:C/I:C/A:C"),
+	cvss.MustParse("AV:N/AC:L/Au:N/C:N/I:P/A:N"),
+	cvss.MustParse("AV:A/AC:L/Au:N/C:P/I:N/A:P"),
+	cvss.MustParse("AV:N/AC:H/Au:N/C:P/I:P/A:P"),
+}
+
+var localVectors = []cvss.Vector{
+	cvss.MustParse("AV:L/AC:L/Au:N/C:C/I:C/A:C"),
+	cvss.MustParse("AV:L/AC:L/Au:N/C:P/I:P/A:P"),
+	cvss.MustParse("AV:L/AC:M/Au:N/C:N/I:N/A:C"),
+	cvss.MustParse("AV:L/AC:L/Au:S/C:P/I:N/A:N"),
+}
+
+// render materializes every spec into a cve.Entry.
+func (c *Corpus) render() error {
+	c.Entries = make([]*cve.Entry, len(c.Specs))
+	for i, s := range c.Specs {
+		e, err := c.renderSpec(s, i)
+		if err != nil {
+			return fmt.Errorf("corpus: spec %d (%v): %w", i, s.Clusters, err)
+		}
+		c.Entries[i] = e
+	}
+	return nil
+}
+
+func (c *Corpus) renderSpec(s *Spec, seq int) (*cve.Entry, error) {
+	id, err := cve.ParseID(s.FixedID)
+	if err != nil {
+		return nil, err
+	}
+	entry := &cve.Entry{
+		ID: id,
+		// Spread publication over the year deterministically.
+		Published: time.Date(s.Year, time.Month(1+seq%12), 1+seq%28, 12, 0, 0, 0, time.UTC),
+		Summary:   c.summaryFor(s, seq),
+		CVSS:      c.vectorFor(s, seq),
+	}
+	products, err := c.productsFor(s)
+	if err != nil {
+		return nil, err
+	}
+	entry.Products = products
+	return entry, nil
+}
+
+func (c *Corpus) summaryFor(s *Spec, seq int) string {
+	if s.Summary != "" {
+		return s.Summary
+	}
+	if s.Validity != classify.Valid {
+		return validityPrefixes[s.Validity] + invalidSubjects[seq%len(invalidSubjects)]
+	}
+	templates := summaryTemplates[s.Class]
+	tpl := templates[seq%len(templates)]
+	actor := "local"
+	if s.Remote {
+		actor = "remote"
+	}
+	return fmt.Sprintf(tpl, actor)
+}
+
+func (c *Corpus) vectorFor(s *Spec, seq int) cvss.Vector {
+	if s.Remote {
+		return remoteVectors[seq%len(remoteVectors)]
+	}
+	return localVectors[seq%len(localVectors)]
+}
+
+// productsFor renders the affected-platform list: one CPE per affected
+// (cluster, release) plus the unclustered extras.
+func (c *Corpus) productsFor(s *Spec) ([]cpe.Name, error) {
+	var out []cpe.Name
+	for _, d := range s.Clusters {
+		canon := registry.CanonicalName(d)
+		if canon.Product == "" {
+			return nil, fmt.Errorf("no canonical CPE for %v", d)
+		}
+		versions := s.Releases[d]
+		if len(versions) == 0 {
+			versions = []string{releaseVersionFor(d, s.Year)}
+		}
+		for _, v := range versions {
+			n := canon
+			n.Version = v
+			out = append(out, n)
+		}
+	}
+	out = append(out, s.Extras...)
+	if s.PreRelease {
+		// The seven pre-1999 Windows 2000 entries share their flaw with
+		// Windows NT (§IV-A).
+		out = append(out, cpe.MustParse("cpe:/o:microsoft:windows_nt:4.0"))
+	}
+	return out, nil
+}
+
+// releaseVersionFor returns the release current at the given year (the
+// latest release shipped in or before it), or the first release for
+// pre-release years.
+func releaseVersionFor(d osmap.Distro, year int) string {
+	releases := registry.Releases(d)
+	if len(releases) == 0 {
+		return ""
+	}
+	version := releases[0].Version
+	for _, r := range releases {
+		if r.Year <= year {
+			version = r.Version
+		}
+	}
+	return version
+}

@@ -1,0 +1,196 @@
+package cve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"osdiversity/internal/cpe"
+	"osdiversity/internal/cvss"
+)
+
+// Entry is one NVD vulnerability report, reduced to the fields the paper's
+// methodology section says the study needs: "the name, publication date,
+// summary (description), type of exploit (local or remote) and the list of
+// affected configurations".
+type Entry struct {
+	// ID is the CVE identifier of the entry.
+	ID ID
+	// Published is the publication date of the entry in NVD.
+	Published time.Time
+	// Summary is the free-text description. The validity tags the paper
+	// filters on (Unknown, Unspecified, **DISPUTED**) appear here, as they
+	// do in real NVD summaries.
+	Summary string
+	// CVSS is the parsed base vector; the zero value means the entry
+	// carries no CVSS data (common for very old entries).
+	CVSS cvss.Vector
+	// Products lists the affected platforms (the vulnerable-software list
+	// of the feed). Only entries with at least one "/o" product are
+	// OS-level vulnerabilities.
+	Products []cpe.Name
+}
+
+// Remote reports whether the entry is remotely exploitable under the
+// paper's criterion (CVSS access vector NETWORK or ADJACENT_NETWORK).
+// Entries without CVSS data are conservatively treated as local.
+func (e *Entry) Remote() bool {
+	return !e.CVSS.IsZero() && e.CVSS.AV.Remote()
+}
+
+// HasOSProduct reports whether any affected product is an operating
+// system platform ("/o" part), which is the paper's selection criterion
+// for OS-level vulnerabilities.
+func (e *Entry) HasOSProduct() bool {
+	for _, p := range e.Products {
+		if p.IsOS() {
+			return true
+		}
+	}
+	return false
+}
+
+// OSProducts returns the affected products restricted to the OS part.
+// The returned slice is freshly allocated.
+func (e *Entry) OSProducts() []cpe.Name {
+	var out []cpe.Name
+	for _, p := range e.Products {
+		if p.IsOS() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AffectsProduct reports whether the entry lists a product matching the
+// given (vendor, product) pair, irrespective of version.
+func (e *Entry) AffectsProduct(vendor, product string) bool {
+	for _, p := range e.Products {
+		if p.Vendor == vendor && p.Product == product {
+			return true
+		}
+	}
+	return false
+}
+
+// Year returns the publication year.
+func (e *Entry) Year() int { return e.Published.Year() }
+
+// Validate checks internal consistency of the entry: a usable ID, a
+// publication date, and a non-empty product list with no duplicates.
+func (e *Entry) Validate() error {
+	if e.ID.IsZero() {
+		return fmt.Errorf("cve: entry has zero ID")
+	}
+	if e.Published.IsZero() {
+		return fmt.Errorf("cve: entry %s has no publication date", e.ID)
+	}
+	if len(e.Products) == 0 {
+		return fmt.Errorf("cve: entry %s affects no products", e.ID)
+	}
+	seen := make(map[string]bool, len(e.Products))
+	for _, p := range e.Products {
+		uri := p.URI()
+		if seen[uri] {
+			return fmt.Errorf("cve: entry %s lists product %s twice", e.ID, uri)
+		}
+		seen[uri] = true
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the entry. Analysis code holds entries in
+// shared sets; mutation always goes through a clone.
+func (e *Entry) Clone() *Entry {
+	dup := *e
+	dup.Products = append([]cpe.Name(nil), e.Products...)
+	return &dup
+}
+
+// SortEntries orders entries by ID (year, then sequence), giving analyses
+// a deterministic iteration order.
+func SortEntries(entries []*Entry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID.Less(entries[j].ID) })
+}
+
+// Set is a collection of entries keyed by CVE ID. The zero value is empty
+// and ready to use via Add.
+type Set struct {
+	byID map[ID]*Entry
+}
+
+// NewSet builds a Set from the given entries. Duplicate IDs are rejected.
+func NewSet(entries ...*Entry) (*Set, error) {
+	s := &Set{byID: make(map[ID]*Entry, len(entries))}
+	for _, e := range entries {
+		if err := s.Add(e); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Add inserts an entry, rejecting duplicates by ID.
+func (s *Set) Add(e *Entry) error {
+	if s.byID == nil {
+		s.byID = make(map[ID]*Entry)
+	}
+	if _, dup := s.byID[e.ID]; dup {
+		return fmt.Errorf("cve: duplicate entry %s", e.ID)
+	}
+	s.byID[e.ID] = e
+	return nil
+}
+
+// Get returns the entry with the given ID, or nil.
+func (s *Set) Get(id ID) *Entry {
+	if s == nil || s.byID == nil {
+		return nil
+	}
+	return s.byID[id]
+}
+
+// Len returns the number of entries.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.byID)
+}
+
+// All returns the entries sorted by ID.
+func (s *Set) All() []*Entry {
+	if s == nil {
+		return nil
+	}
+	out := make([]*Entry, 0, len(s.byID))
+	for _, e := range s.byID {
+		out = append(out, e)
+	}
+	SortEntries(out)
+	return out
+}
+
+// Filter returns the sorted entries satisfying keep.
+func (s *Set) Filter(keep func(*Entry) bool) []*Entry {
+	if s == nil {
+		return nil
+	}
+	var out []*Entry
+	for _, e := range s.byID {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	SortEntries(out)
+	return out
+}
+
+// SummaryHasTag reports whether the entry summary carries the given NVD
+// editorial tag (for example "Unspecified" or "** DISPUTED **"), matched
+// case-insensitively on word prefixes the way the paper's manual pass
+// identified them.
+func SummaryHasTag(summary, tag string) bool {
+	return strings.Contains(strings.ToLower(summary), strings.ToLower(tag))
+}

@@ -1,0 +1,111 @@
+package cve
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseID(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		want    ID
+		wantErr bool
+	}{
+		{name: "canonical", in: "CVE-2008-4609", want: ID{2008, 4609}},
+		{name: "lowercase prefix", in: "cve-2008-4609", want: ID{2008, 4609}},
+		{name: "five digit seq", in: "CVE-2014-123456", want: ID{2014, 123456}},
+		{name: "leading zeros", in: "CVE-1999-0003", want: ID{1999, 3}},
+		{name: "paper dns cve", in: "CVE-2008-1447", want: ID{2008, 1447}},
+		{name: "paper dhcp cve", in: "CVE-2007-5365", want: ID{2007, 5365}},
+		{name: "empty", in: "", wantErr: true},
+		{name: "missing seq", in: "CVE-2008", wantErr: true},
+		{name: "bad prefix", in: "CAN-2008-4609", wantErr: true},
+		{name: "two digit year", in: "CVE-99-1234", wantErr: true},
+		{name: "five digit year", in: "CVE-20080-1234", wantErr: true},
+		{name: "implausible year", in: "CVE-1947-1234", wantErr: true},
+		{name: "short sequence", in: "CVE-2008-123", wantErr: true},
+		{name: "alpha sequence", in: "CVE-2008-46a9", wantErr: true},
+		{name: "negative sequence", in: "CVE-2008--609", wantErr: true},
+		{name: "trailing junk", in: "CVE-2008-4609x", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ParseID(tt.in)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("ParseID(%q) = %v, want error", tt.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseID(%q) unexpected error: %v", tt.in, err)
+			}
+			if got != tt.want {
+				t.Fatalf("ParseID(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIDString(t *testing.T) {
+	tests := []struct {
+		id   ID
+		want string
+	}{
+		{ID{2008, 4609}, "CVE-2008-4609"},
+		{ID{1999, 3}, "CVE-1999-0003"},
+		{ID{2014, 123456}, "CVE-2014-123456"},
+	}
+	for _, tt := range tests {
+		if got := tt.id.String(); got != tt.want {
+			t.Errorf("%#v.String() = %q, want %q", tt.id, got, tt.want)
+		}
+	}
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	f := func(year uint16, seq uint32) bool {
+		id := ID{Year: 1988 + int(year)%100, Seq: int(seq % 10_000_000)}
+		parsed, err := ParseID(id.String())
+		return err == nil && parsed == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIDCompare(t *testing.T) {
+	ids := []ID{{2010, 1}, {1999, 9999}, {2008, 4609}, {2008, 1447}, {1999, 3}}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	want := []ID{{1999, 3}, {1999, 9999}, {2008, 1447}, {2008, 4609}, {2010, 1}}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("sorted[%d] = %v, want %v (full: %v)", i, ids[i], want[i], ids)
+		}
+	}
+	if c := (ID{2008, 1447}).Compare(ID{2008, 1447}); c != 0 {
+		t.Errorf("Compare(self) = %d, want 0", c)
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(y1, y2 uint8, s1, s2 uint16) bool {
+		a := ID{1990 + int(y1)%30, int(s1)}
+		b := ID{1990 + int(y2)%30, int(s2)}
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustID on malformed input did not panic")
+		}
+	}()
+	MustID("not-a-cve")
+}

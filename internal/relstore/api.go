@@ -1,0 +1,57 @@
+package relstore
+
+import "fmt"
+
+// InsertRow inserts one row through the typed API, bypassing SQL parsing.
+// This is the ingestion fast path: loaders that stream thousands of feed
+// entries use it to avoid quoting values (and to insert timestamps, which
+// have no literal syntax in the dialect).
+func InsertRow(db *DB, tableName string, columns []string, values []Value) error {
+	if len(columns) != len(values) {
+		return fmt.Errorf("relstore: InsertRow: %d columns, %d values", len(columns), len(values))
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("relstore: no table %q", tableName)
+	}
+	row := make([]Value, len(t.cols))
+	for i, col := range columns {
+		ci, ok := t.colIdx[col]
+		if !ok {
+			return fmt.Errorf("relstore: table %s has no column %q", tableName, col)
+		}
+		row[ci] = values[i]
+	}
+	return t.insert(row)
+}
+
+// ScanTable streams every row of a table to fn in insertion order,
+// stopping early if fn returns false. The row slice is shared; fn must
+// not retain or mutate it.
+func ScanTable(db *DB, tableName string, fn func(row []Value) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("relstore: no table %q", tableName)
+	}
+	for _, row := range t.rows {
+		if !fn(row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ColumnNames returns a table's column names in declaration order.
+func ColumnNames(db *DB, tableName string) ([]string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %q", tableName)
+	}
+	return t.columnNames(), nil
+}

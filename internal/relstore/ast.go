@@ -1,0 +1,187 @@
+package relstore
+
+// This file defines the statement and expression trees produced by the
+// parser and consumed by the executor.
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTableStmt is CREATE TABLE name (col TYPE [PRIMARY KEY], ...).
+type CreateTableStmt struct {
+	Table   string
+	Columns []ColumnDef
+}
+
+// ColumnDef is one column declaration.
+type ColumnDef struct {
+	Name       string
+	Kind       Kind
+	PrimaryKey bool
+}
+
+// CreateIndexStmt is CREATE INDEX ON table (col).
+type CreateIndexStmt struct {
+	Table  string
+	Column string
+}
+
+// DropTableStmt is DROP TABLE name.
+type DropTableStmt struct {
+	Table string
+}
+
+// InsertStmt is INSERT INTO t (cols) VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+// SelectStmt is the full SELECT form of the dialect.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []JoinClause
+	Where    Expr // nil when absent
+	GroupBy  []Expr
+	Having   Expr // nil when absent
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+}
+
+// SelectItem is one output column: either * (Star), or an expression with
+// an optional alias.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the effective name the query refers to the table by.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// JoinClause is an inner join with its ON condition.
+type JoinClause struct {
+	Table TableRef
+	On    Expr
+}
+
+// OrderKey is one ORDER BY expression with direction.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// UpdateStmt is UPDATE t SET col = expr, ... [WHERE expr].
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one SET clause.
+type Assignment struct {
+	Column string
+	Expr   Expr
+}
+
+// DeleteStmt is DELETE FROM t [WHERE expr].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*InsertStmt) stmt()      {}
+func (*SelectStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+
+// Expr is any expression node.
+type Expr interface{ expr() }
+
+// LiteralExpr is a constant value.
+type LiteralExpr struct {
+	Value Value
+}
+
+// ColumnExpr references a column, optionally qualified ("alias.col").
+type ColumnExpr struct {
+	Table  string // "" when unqualified
+	Column string
+}
+
+// BinaryExpr applies an infix operator: comparison, AND, OR.
+type BinaryExpr struct {
+	Op          string // "=", "<>", "<", "<=", ">", ">=", "AND", "OR"
+	Left, Right Expr
+}
+
+// NotExpr is logical negation.
+type NotExpr struct {
+	Inner Expr
+}
+
+// InExpr is "expr [NOT] IN (literal, ...)".
+type InExpr struct {
+	Target Expr
+	List   []Expr
+	Negate bool
+}
+
+// LikeExpr is "expr [NOT] LIKE 'pattern'".
+type LikeExpr struct {
+	Target  Expr
+	Pattern string
+	Negate  bool
+}
+
+// CallExpr is an aggregate call: COUNT/SUM/AVG/MIN/MAX. Star marks
+// COUNT(*); Distinct marks COUNT(DISTINCT x).
+type CallExpr struct {
+	Func     string
+	Star     bool
+	Distinct bool
+	Arg      Expr // nil for COUNT(*)
+}
+
+func (*LiteralExpr) expr() {}
+func (*ColumnExpr) expr()  {}
+func (*BinaryExpr) expr()  {}
+func (*NotExpr) expr()     {}
+func (*InExpr) expr()      {}
+func (*LikeExpr) expr()    {}
+func (*CallExpr) expr()    {}
+
+// hasAggregate reports whether the expression contains an aggregate call,
+// which decides between plain projection and grouped execution.
+func hasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *CallExpr:
+		return true
+	case *BinaryExpr:
+		return hasAggregate(x.Left) || hasAggregate(x.Right)
+	case *NotExpr:
+		return hasAggregate(x.Inner)
+	case *InExpr:
+		return hasAggregate(x.Target)
+	case *LikeExpr:
+		return hasAggregate(x.Target)
+	default:
+		return false
+	}
+}

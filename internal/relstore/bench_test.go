@@ -1,0 +1,105 @@
+package relstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchDB(b *testing.B, rows int, indexed bool) *DB {
+	b.Helper()
+	db := Open()
+	if _, err := db.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		err := InsertRow(db, "t", []string{"id", "k", "v"},
+			[]Value{Int(int64(i)), Int(int64(i % 100)), Text(fmt.Sprintf("row%d", i))})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if indexed {
+		if _, err := db.Exec(`CREATE INDEX ON t (k)`); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func BenchmarkInsertRow(b *testing.B) {
+	db := Open()
+	if _, err := db.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := InsertRow(db, "t", []string{"id", "k", "v"},
+			[]Value{Int(int64(i)), Int(int64(i % 100)), Text("payload")})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectScan(b *testing.B) {
+	db := benchDB(b, 5000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query(`SELECT v FROM t WHERE k = 17`)
+		if err != nil || len(res.Rows) != 50 {
+			b.Fatalf("%v, %d rows", err, len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkSelectIndexed(b *testing.B) {
+	db := benchDB(b, 5000, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query(`SELECT v FROM t WHERE k = 17`)
+		if err != nil || len(res.Rows) != 50 {
+			b.Fatalf("%v, %d rows", err, len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkGroupByAggregate(b *testing.B) {
+	db := benchDB(b, 5000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query(`SELECT k, COUNT(*), MIN(id), MAX(id) FROM t GROUP BY k ORDER BY k`)
+		if err != nil || len(res.Rows) != 100 {
+			b.Fatalf("%v, %d rows", err, len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	db := benchDB(b, 2000, false)
+	if _, err := db.Exec(`CREATE TABLE names (k INTEGER, label TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := InsertRow(db, "names", []string{"k", "label"},
+			[]Value{Int(int64(i)), Text(fmt.Sprintf("bucket%d", i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query(`SELECT names.label, COUNT(*) FROM t JOIN names ON t.k = names.k GROUP BY names.label`)
+		if err != nil || len(res.Rows) != 100 {
+			b.Fatalf("%v, %d rows", err, len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkParseOnly(b *testing.B) {
+	const q = `SELECT a.name, COUNT(DISTINCT x.vuln_id) FROM os a JOIN os_vuln x ON a.id = x.os_id WHERE a.family = 'BSD' AND x.version LIKE '4.%' GROUP BY a.name ORDER BY a.name DESC LIMIT 10`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

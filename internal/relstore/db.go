@@ -1,0 +1,531 @@
+package relstore
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DB is an in-memory relational database. It is safe for concurrent use;
+// statements take a coarse read or write lock depending on their class.
+// Construct with Open (the zero value is not usable).
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+}
+
+// Open returns an empty database.
+func Open() *DB {
+	return &DB{tables: make(map[string]*table)}
+}
+
+// table is the storage for one relation.
+type table struct {
+	name    string
+	cols    []ColumnDef
+	colIdx  map[string]int
+	rows    [][]Value
+	pkCol   int // -1 when the table has no primary key
+	pk      map[string]int
+	indexes map[string]map[string][]int
+}
+
+func newTable(name string, cols []ColumnDef) (*table, error) {
+	t := &table{
+		name:    name,
+		cols:    cols,
+		colIdx:  make(map[string]int, len(cols)),
+		pkCol:   -1,
+		indexes: make(map[string]map[string][]int),
+	}
+	for i, c := range cols {
+		if _, dup := t.colIdx[c.Name]; dup {
+			return nil, fmt.Errorf("relstore: table %s declares column %s twice", name, c.Name)
+		}
+		t.colIdx[c.Name] = i
+		if c.PrimaryKey {
+			if t.pkCol != -1 {
+				return nil, fmt.Errorf("relstore: table %s declares two primary keys", name)
+			}
+			t.pkCol = i
+			t.pk = make(map[string]int)
+		}
+	}
+	return t, nil
+}
+
+func (t *table) columnNames() []string {
+	out := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func (t *table) insert(row []Value) error {
+	if len(row) != len(t.cols) {
+		return fmt.Errorf("relstore: table %s: row width %d, want %d", t.name, len(row), len(t.cols))
+	}
+	for i := range row {
+		v, err := coerce(row[i], t.cols[i].Kind)
+		if err != nil {
+			return fmt.Errorf("%w (column %s)", err, t.cols[i].Name)
+		}
+		row[i] = v
+	}
+	if t.pkCol != -1 {
+		v := row[t.pkCol]
+		if v.IsNull() {
+			return fmt.Errorf("relstore: table %s: NULL primary key", t.name)
+		}
+		k := v.key()
+		if _, dup := t.pk[k]; dup {
+			return fmt.Errorf("relstore: table %s: duplicate primary key %s", t.name, v)
+		}
+		t.pk[k] = len(t.rows)
+	}
+	for col, idx := range t.indexes {
+		ci := t.colIdx[col]
+		k := row[ci].key()
+		idx[k] = append(idx[k], len(t.rows))
+	}
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// rebuildDerived reconstructs the primary-key map and all secondary
+// indexes after a bulk mutation (UPDATE/DELETE).
+func (t *table) rebuildDerived() error {
+	if t.pkCol != -1 {
+		t.pk = make(map[string]int, len(t.rows))
+		for i, row := range t.rows {
+			k := row[t.pkCol].key()
+			if _, dup := t.pk[k]; dup {
+				return fmt.Errorf("relstore: table %s: duplicate primary key %s after update", t.name, row[t.pkCol])
+			}
+			t.pk[k] = i
+		}
+	}
+	for col := range t.indexes {
+		ci := t.colIdx[col]
+		idx := make(map[string][]int, len(t.rows))
+		for i, row := range t.rows {
+			k := row[ci].key()
+			idx[k] = append(idx[k], i)
+		}
+		t.indexes[col] = idx
+	}
+	return nil
+}
+
+// Result is the output of a query: column headers and rows.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Exec runs a statement that does not produce rows (DDL and DML). It
+// returns the number of affected rows (0 for DDL).
+func (db *DB) Exec(sql string) (int, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// ExecStmt is Exec for a pre-parsed statement, letting hot ingestion
+// loops skip re-parsing.
+func (db *DB) ExecStmt(stmt Statement) (int, error) {
+	switch s := stmt.(type) {
+	case *CreateTableStmt:
+		return 0, db.createTable(s)
+	case *CreateIndexStmt:
+		return 0, db.createIndex(s)
+	case *DropTableStmt:
+		return 0, db.dropTable(s)
+	case *InsertStmt:
+		return db.insert(s)
+	case *UpdateStmt:
+		return db.update(s)
+	case *DeleteStmt:
+		return db.delete(s)
+	case *SelectStmt:
+		return 0, fmt.Errorf("relstore: use Query for SELECT")
+	default:
+		return 0, fmt.Errorf("relstore: unsupported statement %T", stmt)
+	}
+}
+
+// Query runs a SELECT and returns its result set.
+func (db *DB) Query(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("relstore: Query needs a SELECT, got %T", stmt)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.execSelect(sel)
+}
+
+// QueryInt runs a single-value SELECT (for example a COUNT) and returns
+// the cell as an int64.
+func (db *DB) QueryInt(sql string) (int64, error) {
+	res, err := db.Query(sql)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		return 0, fmt.Errorf("relstore: QueryInt got %dx%d result", len(res.Rows), len(res.Columns))
+	}
+	v := res.Rows[0][0]
+	switch v.Kind() {
+	case KindInt:
+		return v.AsInt(), nil
+	case KindFloat:
+		return int64(v.AsFloat()), nil
+	default:
+		return 0, fmt.Errorf("relstore: QueryInt got %s value", v.Kind())
+	}
+}
+
+// Tables lists table names, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RowCount returns the number of rows in a table.
+func (db *DB) RowCount(tableName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(tableName)]
+	if !ok {
+		return 0, fmt.Errorf("relstore: no table %q", tableName)
+	}
+	return len(t.rows), nil
+}
+
+func (db *DB) createTable(s *CreateTableStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[s.Table]; exists {
+		return fmt.Errorf("relstore: table %q already exists", s.Table)
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("relstore: table %q has no columns", s.Table)
+	}
+	t, err := newTable(s.Table, s.Columns)
+	if err != nil {
+		return err
+	}
+	db.tables[s.Table] = t
+	return nil
+}
+
+func (db *DB) createIndex(s *CreateIndexStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return fmt.Errorf("relstore: no table %q", s.Table)
+	}
+	ci, ok := t.colIdx[s.Column]
+	if !ok {
+		return fmt.Errorf("relstore: table %s has no column %q", s.Table, s.Column)
+	}
+	if _, exists := t.indexes[s.Column]; exists {
+		return nil // idempotent
+	}
+	idx := make(map[string][]int, len(t.rows))
+	for i, row := range t.rows {
+		k := row[ci].key()
+		idx[k] = append(idx[k], i)
+	}
+	t.indexes[s.Column] = idx
+	return nil
+}
+
+func (db *DB) dropTable(s *DropTableStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[s.Table]; !ok {
+		return fmt.Errorf("relstore: no table %q", s.Table)
+	}
+	delete(db.tables, s.Table)
+	return nil
+}
+
+func (db *DB) insert(s *InsertStmt) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return 0, fmt.Errorf("relstore: no table %q", s.Table)
+	}
+	targets := make([]int, len(s.Columns))
+	for i, col := range s.Columns {
+		ci, ok := t.colIdx[col]
+		if !ok {
+			return 0, fmt.Errorf("relstore: table %s has no column %q", s.Table, col)
+		}
+		targets[i] = ci
+	}
+	n := 0
+	for _, exprRow := range s.Rows {
+		row := make([]Value, len(t.cols))
+		for i, e := range exprRow {
+			v, err := evalConst(e)
+			if err != nil {
+				return n, err
+			}
+			row[targets[i]] = v
+		}
+		if err := t.insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (db *DB) update(s *UpdateStmt) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return 0, fmt.Errorf("relstore: no table %q", s.Table)
+	}
+	env := newRowEnv([]TableRef{{Table: s.Table}}, [][]ColumnDef{t.cols})
+	n := 0
+	for i, row := range t.rows {
+		env.set(0, row)
+		match := true
+		if s.Where != nil {
+			v, err := eval(s.Where, env)
+			if err != nil {
+				return n, err
+			}
+			match = truthy(v)
+		}
+		if !match {
+			continue
+		}
+		for _, asg := range s.Set {
+			ci, ok := t.colIdx[asg.Column]
+			if !ok {
+				return n, fmt.Errorf("relstore: table %s has no column %q", s.Table, asg.Column)
+			}
+			v, err := eval(asg.Expr, env)
+			if err != nil {
+				return n, err
+			}
+			cv, err := coerce(v, t.cols[ci].Kind)
+			if err != nil {
+				return n, fmt.Errorf("%w (column %s)", err, asg.Column)
+			}
+			t.rows[i][ci] = cv
+		}
+		n++
+	}
+	if n > 0 {
+		if err := t.rebuildDerived(); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func (db *DB) delete(s *DeleteStmt) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return 0, fmt.Errorf("relstore: no table %q", s.Table)
+	}
+	env := newRowEnv([]TableRef{{Table: s.Table}}, [][]ColumnDef{t.cols})
+	kept := t.rows[:0]
+	n := 0
+	for _, row := range t.rows {
+		match := true
+		if s.Where != nil {
+			env.set(0, row)
+			v, err := eval(s.Where, env)
+			if err != nil {
+				return 0, err
+			}
+			match = truthy(v)
+		}
+		if match {
+			n++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	t.rows = kept
+	if n > 0 {
+		if err := t.rebuildDerived(); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// gobTable is the persisted form of a table.
+type gobTable struct {
+	Name    string
+	Cols    []ColumnDef
+	Rows    [][]gobValue
+	Indexed []string
+}
+
+// gobValue flattens Value for encoding/gob (whose encoder needs exported
+// fields).
+type gobValue struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+	T    int64 // UnixNano; valid when Kind == KindTime
+}
+
+func toGob(v Value) gobValue {
+	g := gobValue{Kind: v.kind, I: v.i, F: v.f, S: v.s, B: v.b}
+	if v.kind == KindTime {
+		g.T = v.t.UnixNano()
+	}
+	return g
+}
+
+func fromGob(g gobValue) Value {
+	v := Value{kind: g.Kind, i: g.I, f: g.F, s: g.S, b: g.B}
+	if g.Kind == KindTime {
+		v.t = timeFromUnixNano(g.T)
+	}
+	return v
+}
+
+// Save persists the database to a gzip-compressed gob file.
+func (db *DB) Save(path string) (err error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("relstore: save: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("relstore: save close: %w", cerr)
+		}
+	}()
+	gz := gzip.NewWriter(f)
+	defer func() {
+		if cerr := gz.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("relstore: save gzip close: %w", cerr)
+		}
+	}()
+	enc := gob.NewEncoder(gz)
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if err := enc.Encode(len(names)); err != nil {
+		return fmt.Errorf("relstore: save: %w", err)
+	}
+	for _, name := range names {
+		t := db.tables[name]
+		gt := gobTable{Name: t.name, Cols: t.cols}
+		gt.Rows = make([][]gobValue, len(t.rows))
+		for i, row := range t.rows {
+			grow := make([]gobValue, len(row))
+			for j, v := range row {
+				grow[j] = toGob(v)
+			}
+			gt.Rows[i] = grow
+		}
+		for col := range t.indexes {
+			gt.Indexed = append(gt.Indexed, col)
+		}
+		sort.Strings(gt.Indexed)
+		if err := enc.Encode(gt); err != nil {
+			return fmt.Errorf("relstore: save table %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Load reads a database written by Save.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("relstore: load: %w", err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("relstore: load: %w", err)
+	}
+	defer gz.Close()
+	dec := gob.NewDecoder(gz)
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		return nil, fmt.Errorf("relstore: load: %w", err)
+	}
+	db := Open()
+	for i := 0; i < n; i++ {
+		var gt gobTable
+		if err := dec.Decode(&gt); err != nil {
+			return nil, fmt.Errorf("relstore: load table %d: %w", i, err)
+		}
+		t, err := newTable(gt.Name, gt.Cols)
+		if err != nil {
+			return nil, err
+		}
+		for _, grow := range gt.Rows {
+			row := make([]Value, len(grow))
+			for j, g := range grow {
+				row[j] = fromGob(g)
+			}
+			if err := t.insert(row); err != nil {
+				return nil, fmt.Errorf("relstore: load table %s: %w", gt.Name, err)
+			}
+		}
+		db.tables[gt.Name] = t
+		for _, col := range gt.Indexed {
+			if err := db.createIndexLocked(t, col); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+func (db *DB) createIndexLocked(t *table, col string) error {
+	ci, ok := t.colIdx[col]
+	if !ok {
+		return fmt.Errorf("relstore: table %s has no column %q", t.name, col)
+	}
+	idx := make(map[string][]int, len(t.rows))
+	for i, row := range t.rows {
+		k := row[ci].key()
+		idx[k] = append(idx[k], i)
+	}
+	t.indexes[col] = idx
+	return nil
+}

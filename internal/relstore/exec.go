@@ -1,0 +1,961 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+func timeFromUnixNano(n int64) time.Time { return time.Unix(0, n).UTC() }
+
+// evalEnv supplies column values (and, in grouped execution, aggregate
+// results) to eval.
+type evalEnv interface {
+	lookupColumn(table, col string) (Value, error)
+	aggregate(c *CallExpr) (Value, bool)
+}
+
+// rowEnv binds one row per referenced table.
+type rowEnv struct {
+	refs    []TableRef
+	schemas [][]ColumnDef
+	rows    [][]Value
+	// unique maps unqualified column names to (table, column) positions;
+	// names appearing in several tables are recorded in ambiguous.
+	unique    map[string][2]int
+	ambiguous map[string]bool
+}
+
+func newRowEnv(refs []TableRef, schemas [][]ColumnDef) *rowEnv {
+	env := &rowEnv{
+		refs:      refs,
+		schemas:   schemas,
+		rows:      make([][]Value, len(refs)),
+		unique:    make(map[string][2]int),
+		ambiguous: make(map[string]bool),
+	}
+	for ti, schema := range schemas {
+		for ci, col := range schema {
+			if env.ambiguous[col.Name] {
+				continue
+			}
+			if _, dup := env.unique[col.Name]; dup {
+				delete(env.unique, col.Name)
+				env.ambiguous[col.Name] = true
+				continue
+			}
+			env.unique[col.Name] = [2]int{ti, ci}
+		}
+	}
+	return env
+}
+
+func (env *rowEnv) set(tableIdx int, row []Value) { env.rows[tableIdx] = row }
+
+func (env *rowEnv) lookupColumn(tbl, col string) (Value, error) {
+	if tbl == "" {
+		if env.ambiguous[col] {
+			return Value{}, fmt.Errorf("relstore: ambiguous column %q", col)
+		}
+		pos, ok := env.unique[col]
+		if !ok {
+			return Value{}, fmt.Errorf("relstore: unknown column %q", col)
+		}
+		return env.rows[pos[0]][pos[1]], nil
+	}
+	for ti, ref := range env.refs {
+		if ref.Name() != tbl {
+			continue
+		}
+		for ci, c := range env.schemas[ti] {
+			if c.Name == col {
+				return env.rows[ti][ci], nil
+			}
+		}
+		return Value{}, fmt.Errorf("relstore: table %q has no column %q", tbl, col)
+	}
+	return Value{}, fmt.Errorf("relstore: unknown table %q", tbl)
+}
+
+func (env *rowEnv) aggregate(*CallExpr) (Value, bool) { return Value{}, false }
+
+// checkColumn validates a reference without needing row data.
+func (env *rowEnv) checkColumn(tbl, col string) error {
+	if tbl == "" {
+		if env.ambiguous[col] {
+			return fmt.Errorf("relstore: ambiguous column %q", col)
+		}
+		if _, ok := env.unique[col]; !ok {
+			return fmt.Errorf("relstore: unknown column %q", col)
+		}
+		return nil
+	}
+	for ti, ref := range env.refs {
+		if ref.Name() != tbl {
+			continue
+		}
+		for _, c := range env.schemas[ti] {
+			if c.Name == col {
+				return nil
+			}
+		}
+		return fmt.Errorf("relstore: table %q has no column %q", tbl, col)
+	}
+	return fmt.Errorf("relstore: unknown table %q", tbl)
+}
+
+// groupEnv evaluates expressions over one group: plain columns resolve on
+// the group's first row; aggregate calls resolve to precomputed values.
+type groupEnv struct {
+	first *rowEnv
+	aggs  map[*CallExpr]Value
+}
+
+func (g *groupEnv) lookupColumn(tbl, col string) (Value, error) {
+	return g.first.lookupColumn(tbl, col)
+}
+
+func (g *groupEnv) aggregate(c *CallExpr) (Value, bool) {
+	v, ok := g.aggs[c]
+	return v, ok
+}
+
+// constEnv rejects all columns; used for INSERT value lists.
+type constEnv struct{}
+
+func (constEnv) lookupColumn(tbl, col string) (Value, error) {
+	return Value{}, fmt.Errorf("relstore: column reference %q not allowed here", col)
+}
+
+func (constEnv) aggregate(*CallExpr) (Value, bool) { return Value{}, false }
+
+func evalConst(e Expr) (Value, error) { return eval(e, constEnv{}) }
+
+// truthy converts a value to a WHERE-clause boolean: TRUE is true,
+// everything else (FALSE, NULL, other kinds) is false.
+func truthy(v Value) bool { return v.Kind() == KindBool && v.AsBool() }
+
+func eval(e Expr, env evalEnv) (Value, error) {
+	switch x := e.(type) {
+	case *LiteralExpr:
+		return x.Value, nil
+	case *ColumnExpr:
+		return env.lookupColumn(x.Table, x.Column)
+	case *NotExpr:
+		v, err := eval(x.Inner, env)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(!truthy(v)), nil
+	case *BinaryExpr:
+		return evalBinary(x, env)
+	case *InExpr:
+		target, err := eval(x.Target, env)
+		if err != nil {
+			return Value{}, err
+		}
+		found := false
+		for _, item := range x.List {
+			v, err := eval(item, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if target.Equal(v) {
+				found = true
+				break
+			}
+		}
+		return Bool(found != x.Negate), nil
+	case *LikeExpr:
+		target, err := eval(x.Target, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if target.Kind() != KindText {
+			return Bool(false), nil
+		}
+		return Bool(likeMatch(target.AsText(), x.Pattern) != x.Negate), nil
+	case *CallExpr:
+		if v, ok := env.aggregate(x); ok {
+			return v, nil
+		}
+		return Value{}, fmt.Errorf("relstore: aggregate %s used outside grouped query", x.Func)
+	default:
+		return Value{}, fmt.Errorf("relstore: cannot evaluate %T", e)
+	}
+}
+
+func evalBinary(x *BinaryExpr, env evalEnv) (Value, error) {
+	switch x.Op {
+	case "AND":
+		l, err := eval(x.Left, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if !truthy(l) {
+			return Bool(false), nil
+		}
+		r, err := eval(x.Right, env)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(truthy(r)), nil
+	case "OR":
+		l, err := eval(x.Left, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if truthy(l) {
+			return Bool(true), nil
+		}
+		r, err := eval(x.Right, env)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(truthy(r)), nil
+	}
+	l, err := eval(x.Left, env)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := eval(x.Right, env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Op {
+	case "=":
+		return Bool(l.Equal(r)), nil
+	case "<>":
+		if l.IsNull() || r.IsNull() {
+			return Bool(false), nil
+		}
+		return Bool(!l.Equal(r)), nil
+	case "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Bool(false), nil
+		}
+		c := l.Compare(r)
+		switch x.Op {
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	default:
+		return Value{}, fmt.Errorf("relstore: unknown operator %q", x.Op)
+	}
+}
+
+// joinedRows is the working set of a SELECT: one rowEnv snapshot per
+// surviving combined row. Envs are materialized as slices of per-table
+// rows to keep the hash-join implementation simple.
+type joinedRows struct {
+	refs    []TableRef
+	schemas [][]ColumnDef
+	combos  [][][]Value // combos[i][t] = row of table t in combined row i
+}
+
+func (db *DB) execSelect(s *SelectStmt) (*Result, error) {
+	base, ok := db.tables[s.From.Table]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %q", s.From.Table)
+	}
+	work := &joinedRows{
+		refs:    []TableRef{s.From},
+		schemas: [][]ColumnDef{base.cols},
+	}
+	for _, row := range db.candidateRows(base, s) {
+		work.combos = append(work.combos, [][]Value{row})
+	}
+
+	for _, join := range s.Joins {
+		t, ok := db.tables[join.Table.Table]
+		if !ok {
+			return nil, fmt.Errorf("relstore: no table %q", join.Table.Table)
+		}
+		onEnv := newRowEnv(append(append([]TableRef(nil), work.refs...), join.Table),
+			append(append([][]ColumnDef(nil), work.schemas...), t.cols))
+		if err := validateExpr(join.On, onEnv, nil); err != nil {
+			return nil, err
+		}
+		next, err := db.execJoin(work, join, t)
+		if err != nil {
+			return nil, err
+		}
+		work = next
+	}
+
+	if err := validateSelect(s, newRowEnv(work.refs, work.schemas)); err != nil {
+		return nil, err
+	}
+
+	env := newRowEnv(work.refs, work.schemas)
+	var filtered [][][]Value
+	if s.Where != nil {
+		for _, combo := range work.combos {
+			env.rows = combo
+			v, err := eval(s.Where, env)
+			if err != nil {
+				return nil, err
+			}
+			if truthy(v) {
+				filtered = append(filtered, combo)
+			}
+		}
+	} else {
+		filtered = work.combos
+	}
+
+	grouped := len(s.GroupBy) > 0 || s.Having != nil || itemsHaveAggregates(s)
+	var (
+		res  *Result
+		envs []evalEnv
+		err  error
+	)
+	if grouped {
+		res, envs, err = db.execGrouped(s, work, filtered)
+	} else {
+		res, envs, err = db.execPlain(s, work, filtered)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if s.Distinct {
+		res, envs = dedupe(res, envs)
+	}
+	if len(s.OrderBy) > 0 {
+		if err := orderResult(s, res, envs); err != nil {
+			return nil, err
+		}
+	}
+	if s.Limit >= 0 && len(res.Rows) > s.Limit {
+		res.Rows = res.Rows[:s.Limit]
+	}
+	return res, nil
+}
+
+// validateSelect resolves every column reference in the query at plan
+// time, so unknown or ambiguous names fail even when no rows flow.
+// ORDER BY may additionally reference output aliases.
+func validateSelect(s *SelectStmt, env *rowEnv) error {
+	aliases := make(map[string]bool, len(s.Items))
+	for _, item := range s.Items {
+		if item.Alias != "" {
+			aliases[item.Alias] = true
+		}
+		if !item.Star {
+			if ce, ok := item.Expr.(*ColumnExpr); ok && ce.Table == "" {
+				aliases[ce.Column] = true
+			}
+		}
+	}
+	for _, item := range s.Items {
+		if item.Star {
+			continue
+		}
+		if err := validateExpr(item.Expr, env, nil); err != nil {
+			return err
+		}
+	}
+	if s.Where != nil {
+		if err := validateExpr(s.Where, env, nil); err != nil {
+			return err
+		}
+	}
+	for _, ge := range s.GroupBy {
+		if err := validateExpr(ge, env, nil); err != nil {
+			return err
+		}
+	}
+	if s.Having != nil {
+		if err := validateExpr(s.Having, env, nil); err != nil {
+			return err
+		}
+	}
+	for _, key := range s.OrderBy {
+		if err := validateExpr(key.Expr, env, aliases); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateExpr walks an expression, checking that every column reference
+// resolves uniquely. Names in extraNames (output aliases) are accepted.
+func validateExpr(e Expr, env *rowEnv, extraNames map[string]bool) error {
+	switch x := e.(type) {
+	case *ColumnExpr:
+		if x.Table == "" && extraNames[x.Column] {
+			return nil
+		}
+		return env.checkColumn(x.Table, x.Column)
+	case *BinaryExpr:
+		if err := validateExpr(x.Left, env, extraNames); err != nil {
+			return err
+		}
+		return validateExpr(x.Right, env, extraNames)
+	case *NotExpr:
+		return validateExpr(x.Inner, env, extraNames)
+	case *InExpr:
+		if err := validateExpr(x.Target, env, extraNames); err != nil {
+			return err
+		}
+		for _, item := range x.List {
+			if err := validateExpr(item, env, extraNames); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *LikeExpr:
+		return validateExpr(x.Target, env, extraNames)
+	case *CallExpr:
+		if x.Arg != nil {
+			return validateExpr(x.Arg, env, extraNames)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// candidateRows returns the base table rows, narrowed through a hash
+// index when the WHERE clause pins an indexed column to a literal and the
+// query has no joins (re-filtering still happens later, so this is purely
+// an accelerator).
+func (db *DB) candidateRows(t *table, s *SelectStmt) [][]Value {
+	if s.Where == nil || len(s.Joins) > 0 {
+		return t.rows
+	}
+	col, val, ok := indexableEquality(s.Where, t)
+	if !ok {
+		return t.rows
+	}
+	idx, ok := t.indexes[col]
+	if !ok {
+		if t.pkCol >= 0 && t.cols[t.pkCol].Name == col {
+			if ri, ok := t.pk[val.key()]; ok {
+				return t.rows[ri : ri+1]
+			}
+			return nil
+		}
+		return t.rows
+	}
+	positions := idx[val.key()]
+	out := make([][]Value, len(positions))
+	for i, p := range positions {
+		out[i] = t.rows[p]
+	}
+	return out
+}
+
+// indexableEquality finds a top-level `col = literal` conjunct in a WHERE
+// clause (descending through ANDs only, where narrowing stays sound).
+func indexableEquality(e Expr, t *table) (string, Value, bool) {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		if x.Op == "AND" {
+			if col, v, ok := indexableEquality(x.Left, t); ok {
+				return col, v, true
+			}
+			return indexableEquality(x.Right, t)
+		}
+		if x.Op != "=" {
+			return "", Value{}, false
+		}
+		colExpr, lit := x.Left, x.Right
+		if _, isCol := colExpr.(*ColumnExpr); !isCol {
+			colExpr, lit = lit, colExpr
+		}
+		ce, okCol := colExpr.(*ColumnExpr)
+		le, okLit := lit.(*LiteralExpr)
+		if !okCol || !okLit {
+			return "", Value{}, false
+		}
+		if _, exists := t.colIdx[ce.Column]; !exists {
+			return "", Value{}, false
+		}
+		return ce.Column, le.Value, true
+	default:
+		return "", Value{}, false
+	}
+}
+
+// execJoin extends the working set with one inner join, using a hash join
+// when the ON clause is a simple equality between one existing column and
+// one column of the new table.
+func (db *DB) execJoin(work *joinedRows, join JoinClause, t *table) (*joinedRows, error) {
+	next := &joinedRows{
+		refs:    append(append([]TableRef(nil), work.refs...), join.Table),
+		schemas: append(append([][]ColumnDef(nil), work.schemas...), t.cols),
+	}
+	env := newRowEnv(next.refs, next.schemas)
+
+	leftExpr, rightExpr, hashable := equiJoinSides(join.On, work, join.Table, t)
+	if hashable {
+		// Build side: hash the new table on its join column.
+		build := make(map[string][]int, len(t.rows))
+		rightEnv := newRowEnv([]TableRef{join.Table}, [][]ColumnDef{t.cols})
+		for ri, row := range t.rows {
+			rightEnv.set(0, row)
+			v, err := eval(rightExpr, rightEnv)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			build[v.key()] = append(build[v.key()], ri)
+		}
+		leftEnv := newRowEnv(work.refs, work.schemas)
+		for _, combo := range work.combos {
+			leftEnv.rows = combo
+			v, err := eval(leftExpr, leftEnv)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			for _, ri := range build[v.key()] {
+				extended := append(append([][]Value(nil), combo...), t.rows[ri])
+				next.combos = append(next.combos, extended)
+			}
+		}
+		return next, nil
+	}
+
+	// General nested loop with the full ON predicate.
+	for _, combo := range work.combos {
+		for _, row := range t.rows {
+			extended := append(append([][]Value(nil), combo...), row)
+			env.rows = extended
+			v, err := eval(join.On, env)
+			if err != nil {
+				return nil, err
+			}
+			if truthy(v) {
+				next.combos = append(next.combos, extended)
+			}
+		}
+	}
+	return next, nil
+}
+
+// equiJoinSides decomposes an ON clause of the form L.col = R.col where
+// exactly one side references the table being joined in. It returns the
+// expression bound to the existing working set and the one bound to the
+// new table.
+func equiJoinSides(on Expr, work *joinedRows, newRef TableRef, t *table) (left, right Expr, ok bool) {
+	be, isBin := on.(*BinaryExpr)
+	if !isBin || be.Op != "=" {
+		return nil, nil, false
+	}
+	lc, lok := be.Left.(*ColumnExpr)
+	rc, rok := be.Right.(*ColumnExpr)
+	if !lok || !rok {
+		return nil, nil, false
+	}
+	belongsToNew := func(c *ColumnExpr) bool {
+		if c.Table != "" {
+			return c.Table == newRef.Name()
+		}
+		_, inNew := t.colIdx[c.Column]
+		if !inNew {
+			return false
+		}
+		// Unqualified: only claim it for the new table when no existing
+		// table also has the column.
+		for _, schema := range work.schemas {
+			for _, col := range schema {
+				if col.Name == c.Column {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	switch {
+	case belongsToNew(rc) && !belongsToNew(lc):
+		return lc, rc, true
+	case belongsToNew(lc) && !belongsToNew(rc):
+		return rc, lc, true
+	default:
+		return nil, nil, false
+	}
+}
+
+func itemsHaveAggregates(s *SelectStmt) bool {
+	for _, item := range s.Items {
+		if !item.Star && hasAggregate(item.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func (db *DB) execPlain(s *SelectStmt, work *joinedRows, combos [][][]Value) (*Result, []evalEnv, error) {
+	cols, err := outputColumns(s, work)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Result{Columns: cols}
+	var envs []evalEnv
+	for _, combo := range combos {
+		env := newRowEnv(work.refs, work.schemas)
+		env.rows = combo
+		row, err := projectRow(s, work, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Rows = append(res.Rows, row)
+		envs = append(envs, env)
+	}
+	return res, envs, nil
+}
+
+func (db *DB) execGrouped(s *SelectStmt, work *joinedRows, combos [][][]Value) (*Result, []evalEnv, error) {
+	cols, err := outputColumns(s, work)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, item := range s.Items {
+		if item.Star {
+			return nil, nil, fmt.Errorf("relstore: SELECT * cannot be combined with grouping")
+		}
+	}
+
+	calls := collectCalls(s)
+	type group struct {
+		firstEnv *rowEnv
+		accs     []*aggAccumulator
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	scratch := newRowEnv(work.refs, work.schemas)
+	for _, combo := range combos {
+		scratch.rows = combo
+		var keyParts []string
+		for _, ge := range s.GroupBy {
+			v, err := eval(ge, scratch)
+			if err != nil {
+				return nil, nil, err
+			}
+			keyParts = append(keyParts, v.key())
+		}
+		key := strings.Join(keyParts, "\x00")
+		g, ok := groups[key]
+		if !ok {
+			first := newRowEnv(work.refs, work.schemas)
+			first.rows = combo
+			g = &group{firstEnv: first, accs: make([]*aggAccumulator, len(calls))}
+			for i, c := range calls {
+				g.accs[i] = newAggAccumulator(c)
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, c := range calls {
+			if err := g.accs[i].add(c, scratch); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// A grouped query with no GROUP BY clause and no input rows still
+	// yields one row of aggregates over the empty set.
+	if len(s.GroupBy) == 0 && len(groups) == 0 {
+		g := &group{firstEnv: newRowEnv(work.refs, work.schemas), accs: make([]*aggAccumulator, len(calls))}
+		for i, c := range calls {
+			g.accs[i] = newAggAccumulator(c)
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	res := &Result{Columns: cols}
+	var envs []evalEnv
+	for _, key := range order {
+		g := groups[key]
+		aggs := make(map[*CallExpr]Value, len(calls))
+		for i, c := range calls {
+			aggs[c] = g.accs[i].result()
+		}
+		genv := &groupEnv{first: g.firstEnv, aggs: aggs}
+		if s.Having != nil {
+			v, err := eval(s.Having, genv)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		row := make([]Value, len(s.Items))
+		for i, item := range s.Items {
+			v, err := eval(item.Expr, genv)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[i] = v
+		}
+		res.Rows = append(res.Rows, row)
+		envs = append(envs, genv)
+	}
+	return res, envs, nil
+}
+
+// collectCalls gathers every aggregate call in the query in a stable
+// order, so accumulators can be matched positionally.
+func collectCalls(s *SelectStmt) []*CallExpr {
+	var calls []*CallExpr
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *CallExpr:
+			calls = append(calls, x)
+			if x.Arg != nil {
+				walk(x.Arg)
+			}
+		case *BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *NotExpr:
+			walk(x.Inner)
+		case *InExpr:
+			walk(x.Target)
+		case *LikeExpr:
+			walk(x.Target)
+		}
+	}
+	for _, item := range s.Items {
+		if !item.Star {
+			walk(item.Expr)
+		}
+	}
+	if s.Having != nil {
+		walk(s.Having)
+	}
+	for _, key := range s.OrderBy {
+		walk(key.Expr)
+	}
+	return calls
+}
+
+// aggAccumulator folds rows into one aggregate value.
+type aggAccumulator struct {
+	fn       string
+	count    int64
+	sum      float64
+	sumIsInt bool
+	intSum   int64
+	min, max Value
+	distinct map[string]bool
+}
+
+func newAggAccumulator(c *CallExpr) *aggAccumulator {
+	acc := &aggAccumulator{fn: c.Func, sumIsInt: true}
+	if c.Distinct {
+		acc.distinct = make(map[string]bool)
+	}
+	return acc
+}
+
+func (a *aggAccumulator) add(c *CallExpr, env evalEnv) error {
+	if c.Star {
+		a.count++
+		return nil
+	}
+	v, err := eval(c.Arg, env)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // SQL aggregates skip NULLs
+	}
+	if a.distinct != nil {
+		k := v.key()
+		if a.distinct[k] {
+			return nil
+		}
+		a.distinct[k] = true
+	}
+	a.count++
+	switch a.fn {
+	case "SUM", "AVG":
+		if !v.numeric() {
+			return fmt.Errorf("relstore: %s over non-numeric value %s", a.fn, v)
+		}
+		if v.Kind() == KindInt {
+			a.intSum += v.AsInt()
+		} else {
+			a.sumIsInt = false
+		}
+		a.sum += v.AsFloat()
+	case "MIN":
+		if a.min.IsNull() || v.Compare(a.min) < 0 {
+			a.min = v
+		}
+	case "MAX":
+		if a.max.IsNull() || v.Compare(a.max) > 0 {
+			a.max = v
+		}
+	}
+	return nil
+}
+
+func (a *aggAccumulator) result() Value {
+	switch a.fn {
+	case "COUNT":
+		return Int(a.count)
+	case "SUM":
+		if a.count == 0 {
+			return Null()
+		}
+		if a.sumIsInt {
+			return Int(a.intSum)
+		}
+		return Float(a.sum)
+	case "AVG":
+		if a.count == 0 {
+			return Null()
+		}
+		return Float(a.sum / float64(a.count))
+	case "MIN":
+		return a.min
+	case "MAX":
+		return a.max
+	default:
+		return Null()
+	}
+}
+
+// outputColumns names the result columns: aliases win, bare column
+// references keep their names, stars expand to the joined schema, and
+// anything else is named expr1, expr2, ...
+func outputColumns(s *SelectStmt, work *joinedRows) ([]string, error) {
+	var out []string
+	for i, item := range s.Items {
+		switch {
+		case item.Star:
+			for ti, schema := range work.schemas {
+				prefix := ""
+				if len(work.schemas) > 1 {
+					prefix = work.refs[ti].Name() + "."
+				}
+				for _, col := range schema {
+					out = append(out, prefix+col.Name)
+				}
+			}
+		case item.Alias != "":
+			out = append(out, item.Alias)
+		default:
+			switch x := item.Expr.(type) {
+			case *ColumnExpr:
+				out = append(out, x.Column)
+			case *CallExpr:
+				out = append(out, strings.ToLower(x.Func))
+			default:
+				out = append(out, fmt.Sprintf("expr%d", i+1))
+			}
+		}
+	}
+	return out, nil
+}
+
+func projectRow(s *SelectStmt, work *joinedRows, env *rowEnv) ([]Value, error) {
+	var row []Value
+	for _, item := range s.Items {
+		if item.Star {
+			for ti := range work.schemas {
+				row = append(row, env.rows[ti]...)
+			}
+			continue
+		}
+		v, err := eval(item.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+	}
+	return row, nil
+}
+
+func dedupe(res *Result, envs []evalEnv) (*Result, []evalEnv) {
+	seen := make(map[string]bool, len(res.Rows))
+	out := res.Rows[:0]
+	var outEnvs []evalEnv
+	for i, row := range res.Rows {
+		var parts []string
+		for _, v := range row {
+			parts = append(parts, v.key())
+		}
+		k := strings.Join(parts, "\x00")
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, row)
+		if envs != nil {
+			outEnvs = append(outEnvs, envs[i])
+		}
+	}
+	res.Rows = out
+	return res, outEnvs
+}
+
+// orderResult sorts rows by the ORDER BY keys. Keys are evaluated in each
+// row's originating environment; a key that is a bare name matching an
+// output column falls back to that column, so aliases are orderable.
+func orderResult(s *SelectStmt, res *Result, envs []evalEnv) error {
+	colIndex := make(map[string]int, len(res.Columns))
+	for i, c := range res.Columns {
+		colIndex[c] = i
+	}
+	keys := make([][]Value, len(res.Rows))
+	for i := range res.Rows {
+		keys[i] = make([]Value, len(s.OrderBy))
+		for j, ok := range s.OrderBy {
+			if ce, isCol := ok.Expr.(*ColumnExpr); isCol && ce.Table == "" {
+				if ci, found := colIndex[ce.Column]; found {
+					keys[i][j] = res.Rows[i][ci]
+					continue
+				}
+			}
+			v, err := eval(ok.Expr, envs[i])
+			if err != nil {
+				return err
+			}
+			keys[i][j] = v
+		}
+	}
+	idx := make([]int, len(res.Rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for j, ok := range s.OrderBy {
+			c := keys[idx[a]][j].Compare(keys[idx[b]][j])
+			if c == 0 {
+				continue
+			}
+			if ok.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	sorted := make([][]Value, len(res.Rows))
+	for i, from := range idx {
+		sorted[i] = res.Rows[from]
+	}
+	res.Rows = sorted
+	return nil
+}

@@ -1,0 +1,168 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . *
+	tokOp     // = <> != < <= > >=
+)
+
+// keywords recognized by the dialect. Identifiers matching these
+// (case-insensitively) lex as tokKeyword with upper-cased text.
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "INDEX": true, "ON": true, "DROP": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"SELECT": true, "DISTINCT": true, "FROM": true, "JOIN": true, "INNER": true,
+	"WHERE": true, "GROUP": true, "BY": true, "ORDER": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "AS": true, "HAVING": true,
+	"UPDATE": true, "SET": true, "DELETE": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "LIKE": true,
+	"NULL": true, "TRUE": true, "FALSE": true,
+	"PRIMARY": true, "KEY": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// token is one lexeme with its position (byte offset) for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of statement"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes a statement. Strings use single quotes with ” escaping,
+// per standard SQL.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(input) && input[i+1] == '-':
+			// Line comment.
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(input) {
+				if input[i] == '\'' {
+					if i+1 < len(input) && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("relstore: unterminated string at offset %d", start)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			seenDot := false
+			for i < len(input) {
+				d := input[i]
+				if d == '.' && !seenDot {
+					seenDot = true
+					i++
+					continue
+				}
+				if d < '0' || d > '9' {
+					break
+				}
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < len(input) && isIdentRune(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: strings.ToLower(word), pos: start})
+			}
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '*' || c == ';':
+			if c == ';' {
+				i++ // statement terminator, ignored
+				continue
+			}
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c == '=':
+			toks = append(toks, token{kind: tokOp, text: "=", pos: i})
+			i++
+		case c == '<':
+			switch {
+			case i+1 < len(input) && input[i+1] == '=':
+				toks = append(toks, token{kind: tokOp, text: "<=", pos: i})
+				i += 2
+			case i+1 < len(input) && input[i+1] == '>':
+				toks = append(toks, token{kind: tokOp, text: "<>", pos: i})
+				i += 2
+			default:
+				toks = append(toks, token{kind: tokOp, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: ">=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokOp, text: ">", pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: "<>", pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("relstore: stray '!' at offset %d", i)
+			}
+		default:
+			return nil, fmt.Errorf("relstore: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

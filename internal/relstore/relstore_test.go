@@ -1,0 +1,571 @@
+package relstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// mustExec fails the test on error.
+func mustExec(t *testing.T, db *DB, sql string) int {
+	t.Helper()
+	n, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return n
+}
+
+func mustQuery(t *testing.T, db *DB, sql string) *Result {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sql, err)
+	}
+	return res
+}
+
+// seedDB builds the canonical fixture: a tiny os/vuln/os_vuln schema in
+// the spirit of the paper's Figure 1.
+func seedDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	mustExec(t, db, `CREATE TABLE os (id INTEGER PRIMARY KEY, name TEXT, family TEXT)`)
+	mustExec(t, db, `CREATE TABLE vuln (id INTEGER PRIMARY KEY, cve TEXT, year INTEGER, score FLOAT, remote BOOLEAN)`)
+	mustExec(t, db, `CREATE TABLE os_vuln (os_id INTEGER, vuln_id INTEGER)`)
+	mustExec(t, db, `INSERT INTO os (id, name, family) VALUES
+		(1, 'OpenBSD', 'BSD'), (2, 'NetBSD', 'BSD'), (3, 'Debian', 'Linux'), (4, 'Windows2000', 'Windows')`)
+	mustExec(t, db, `INSERT INTO vuln (id, cve, year, score, remote) VALUES
+		(10, 'CVE-2008-4609', 2008, 7.1, TRUE),
+		(11, 'CVE-2008-1447', 2008, 5.0, TRUE),
+		(12, 'CVE-2005-0001', 2005, 2.1, FALSE),
+		(13, 'CVE-1999-0003', 1999, 10.0, TRUE)`)
+	mustExec(t, db, `INSERT INTO os_vuln (os_id, vuln_id) VALUES
+		(1, 10), (2, 10), (4, 10),
+		(1, 11), (4, 11),
+		(3, 12),
+		(1, 13)`)
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := seedDB(t)
+	res := mustQuery(t, db, `SELECT name, family FROM os ORDER BY id`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	if res.Columns[0] != "name" || res.Columns[1] != "family" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if res.Rows[0][0].AsText() != "OpenBSD" || res.Rows[3][0].AsText() != "Windows2000" {
+		t.Fatalf("rows out of order: %v", res.Rows)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := seedDB(t)
+	res := mustQuery(t, db, `SELECT * FROM os WHERE family = 'BSD' ORDER BY id`)
+	if len(res.Rows) != 2 || len(res.Columns) != 3 {
+		t.Fatalf("got %dx%d", len(res.Rows), len(res.Columns))
+	}
+}
+
+func TestWhereOperators(t *testing.T) {
+	db := seedDB(t)
+	tests := []struct {
+		where string
+		want  int
+	}{
+		{`year = 2008`, 2},
+		{`year <> 2008`, 2},
+		{`year < 2005`, 1},
+		{`year <= 2005`, 2},
+		{`year > 2005`, 2},
+		{`year >= 2005`, 3},
+		{`remote = TRUE`, 3},
+		{`NOT remote = TRUE`, 1},
+		{`year = 2008 AND score > 6.0`, 1},
+		{`year = 1999 OR year = 2005`, 2},
+		{`score >= 5.0 AND (year = 1999 OR year = 2008)`, 3},
+		{`cve LIKE 'CVE-2008-%'`, 2},
+		{`cve NOT LIKE 'CVE-2008-%'`, 2},
+		{`cve LIKE 'CVE-____-0001'`, 1},
+		{`year IN (1999, 2005)`, 2},
+		{`year NOT IN (1999, 2005)`, 2},
+	}
+	for _, tt := range tests {
+		res := mustQuery(t, db, `SELECT id FROM vuln WHERE `+tt.where)
+		if len(res.Rows) != tt.want {
+			t.Errorf("WHERE %s: %d rows, want %d", tt.where, len(res.Rows), tt.want)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	db := seedDB(t)
+	res := mustQuery(t, db, `
+		SELECT os.name, vuln.cve FROM os
+		JOIN os_vuln ON os.id = os_vuln.os_id
+		JOIN vuln ON os_vuln.vuln_id = vuln.id
+		WHERE vuln.year = 2008
+		ORDER BY vuln.cve, os.name`)
+	want := [][2]string{
+		{"OpenBSD", "CVE-2008-1447"},
+		{"Windows2000", "CVE-2008-1447"},
+		{"NetBSD", "CVE-2008-4609"},
+		{"OpenBSD", "CVE-2008-4609"},
+		{"Windows2000", "CVE-2008-4609"},
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("join returned %d rows, want %d: %v", len(res.Rows), len(want), res.Rows)
+	}
+	for i, w := range want {
+		if res.Rows[i][0].AsText() != w[0] || res.Rows[i][1].AsText() != w[1] {
+			t.Errorf("row %d = %v, want %v", i, res.Rows[i], w)
+		}
+	}
+}
+
+func TestJoinWithAliases(t *testing.T) {
+	db := seedDB(t)
+	res := mustQuery(t, db, `
+		SELECT a.name AS os_name, COUNT(*) AS n FROM os a
+		JOIN os_vuln ov ON a.id = ov.os_id
+		GROUP BY a.name
+		ORDER BY n DESC, os_name`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	if res.Rows[0][0].AsText() != "OpenBSD" || res.Rows[0][1].AsInt() != 3 {
+		t.Fatalf("top row = %v, want OpenBSD 3", res.Rows[0])
+	}
+	if res.Columns[0] != "os_name" || res.Columns[1] != "n" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestAggregatesUngrouped(t *testing.T) {
+	db := seedDB(t)
+	res := mustQuery(t, db, `SELECT COUNT(*), SUM(year), AVG(score), MIN(year), MAX(year) FROM vuln`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	row := res.Rows[0]
+	if row[0].AsInt() != 4 {
+		t.Errorf("COUNT(*) = %v", row[0])
+	}
+	if row[1].AsInt() != 2008+2008+2005+1999 {
+		t.Errorf("SUM(year) = %v", row[1])
+	}
+	wantAvg := (7.1 + 5.0 + 2.1 + 10.0) / 4
+	if got := row[2].AsFloat(); got < wantAvg-1e-9 || got > wantAvg+1e-9 {
+		t.Errorf("AVG(score) = %v, want %v", got, wantAvg)
+	}
+	if row[3].AsInt() != 1999 || row[4].AsInt() != 2008 {
+		t.Errorf("MIN/MAX = %v/%v", row[3], row[4])
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := seedDB(t)
+	res := mustQuery(t, db, `
+		SELECT year, COUNT(*) AS n FROM vuln
+		GROUP BY year HAVING COUNT(*) > 1
+		ORDER BY year`)
+	if len(res.Rows) != 1 || res.Rows[0][0].AsInt() != 2008 || res.Rows[0][1].AsInt() != 2 {
+		t.Fatalf("rows = %v, want [[2008 2]]", res.Rows)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	db := seedDB(t)
+	res := mustQuery(t, db, `SELECT COUNT(DISTINCT os_id) FROM os_vuln`)
+	if res.Rows[0][0].AsInt() != 4 {
+		t.Fatalf("COUNT(DISTINCT os_id) = %v, want 4", res.Rows[0][0])
+	}
+	res = mustQuery(t, db, `SELECT COUNT(os_id) FROM os_vuln`)
+	if res.Rows[0][0].AsInt() != 7 {
+		t.Fatalf("COUNT(os_id) = %v, want 7", res.Rows[0][0])
+	}
+}
+
+func TestDistinctRows(t *testing.T) {
+	db := seedDB(t)
+	res := mustQuery(t, db, `SELECT DISTINCT os_id FROM os_vuln ORDER BY os_id`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("DISTINCT returned %d rows, want 4", len(res.Rows))
+	}
+}
+
+func TestLimit(t *testing.T) {
+	db := seedDB(t)
+	res := mustQuery(t, db, `SELECT id FROM vuln ORDER BY id LIMIT 2`)
+	if len(res.Rows) != 2 || res.Rows[0][0].AsInt() != 10 {
+		t.Fatalf("LIMIT rows = %v", res.Rows)
+	}
+	res = mustQuery(t, db, `SELECT id FROM vuln LIMIT 0`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("LIMIT 0 returned rows: %v", res.Rows)
+	}
+}
+
+func TestOrderByMultipleKeysAndDesc(t *testing.T) {
+	db := seedDB(t)
+	res := mustQuery(t, db, `SELECT cve, year FROM vuln ORDER BY year DESC, cve ASC`)
+	want := []string{"CVE-2008-1447", "CVE-2008-4609", "CVE-2005-0001", "CVE-1999-0003"}
+	for i, w := range want {
+		if res.Rows[i][0].AsText() != w {
+			t.Fatalf("order wrong: %v", res.Rows)
+		}
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := seedDB(t)
+	n := mustExec(t, db, `UPDATE vuln SET score = 9.9, remote = FALSE WHERE year = 2008`)
+	if n != 2 {
+		t.Fatalf("UPDATE affected %d, want 2", n)
+	}
+	res := mustQuery(t, db, `SELECT COUNT(*) FROM vuln WHERE score = 9.9 AND remote = FALSE`)
+	if res.Rows[0][0].AsInt() != 2 {
+		t.Fatalf("post-update count = %v", res.Rows[0][0])
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := seedDB(t)
+	n := mustExec(t, db, `DELETE FROM vuln WHERE year < 2005`)
+	if n != 1 {
+		t.Fatalf("DELETE affected %d, want 1", n)
+	}
+	if cnt, _ := db.RowCount("vuln"); cnt != 3 {
+		t.Fatalf("row count after delete = %d", cnt)
+	}
+	// Index consistency after delete: indexed lookup must agree with scan.
+	mustExec(t, db, `CREATE INDEX ON vuln (year)`)
+	mustExec(t, db, `DELETE FROM vuln WHERE year = 2008`)
+	res := mustQuery(t, db, `SELECT COUNT(*) FROM vuln WHERE year = 2008`)
+	if res.Rows[0][0].AsInt() != 0 {
+		t.Fatal("index stale after delete")
+	}
+}
+
+func TestPrimaryKeyEnforced(t *testing.T) {
+	db := seedDB(t)
+	if _, err := db.Exec(`INSERT INTO os (id, name, family) VALUES (1, 'Clone', 'BSD')`); err == nil {
+		t.Fatal("duplicate primary key accepted")
+	}
+	if _, err := db.Exec(`INSERT INTO os (id, name, family) VALUES (NULL, 'NullKey', 'BSD')`); err == nil {
+		t.Fatal("NULL primary key accepted")
+	}
+}
+
+func TestTypeChecking(t *testing.T) {
+	db := seedDB(t)
+	if _, err := db.Exec(`INSERT INTO os (id, name, family) VALUES ('x', 'Bad', 'BSD')`); err == nil {
+		t.Fatal("text accepted in integer column")
+	}
+	// Integer literals widen into float columns.
+	mustExec(t, db, `INSERT INTO vuln (id, cve, year, score, remote) VALUES (14, 'CVE-2010-0001', 2010, 7, TRUE)`)
+	res := mustQuery(t, db, `SELECT score FROM vuln WHERE id = 14`)
+	if res.Rows[0][0].Kind() != KindFloat || res.Rows[0][0].AsFloat() != 7.0 {
+		t.Fatalf("widened value = %v", res.Rows[0][0])
+	}
+}
+
+func TestIndexAcceleratedSelectMatchesScan(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE t (k INTEGER, v TEXT)`)
+	for i := 0; i < 500; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO t (k, v) VALUES (%d, 'row%d')`, i%50, i))
+	}
+	scan := mustQuery(t, db, `SELECT v FROM t WHERE k = 17 ORDER BY v`)
+	mustExec(t, db, `CREATE INDEX ON t (k)`)
+	indexed := mustQuery(t, db, `SELECT v FROM t WHERE k = 17 ORDER BY v`)
+	if len(scan.Rows) != len(indexed.Rows) || len(scan.Rows) != 10 {
+		t.Fatalf("scan %d rows, indexed %d rows, want 10", len(scan.Rows), len(indexed.Rows))
+	}
+	for i := range scan.Rows {
+		if scan.Rows[i][0].AsText() != indexed.Rows[i][0].AsText() {
+			t.Fatalf("row %d differs: %v vs %v", i, scan.Rows[i], indexed.Rows[i])
+		}
+	}
+}
+
+func TestPrimaryKeyLookupPath(t *testing.T) {
+	db := seedDB(t)
+	res := mustQuery(t, db, `SELECT name FROM os WHERE id = 3`)
+	if len(res.Rows) != 1 || res.Rows[0][0].AsText() != "Debian" {
+		t.Fatalf("pk lookup = %v", res.Rows)
+	}
+	res = mustQuery(t, db, `SELECT name FROM os WHERE id = 999`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("pk miss returned rows: %v", res.Rows)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := seedDB(t)
+	mustExec(t, db, `CREATE INDEX ON os_vuln (vuln_id)`)
+	path := filepath.Join(t.TempDir(), "study.gob.gz")
+	if err := db.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, tbl := range []string{"os", "vuln", "os_vuln"} {
+		want, _ := db.RowCount(tbl)
+		got, err := back.RowCount(tbl)
+		if err != nil || got != want {
+			t.Fatalf("table %s: %d rows after reload, want %d (%v)", tbl, got, want, err)
+		}
+	}
+	// The reloaded database must answer an indexed join identically.
+	q := `SELECT os.name FROM os JOIN os_vuln ON os.id = os_vuln.os_id WHERE os_vuln.vuln_id = 10 ORDER BY os.name`
+	a := mustQuery(t, db, q)
+	b := mustQuery(t, back, q)
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("reloaded join differs: %v vs %v", a.Rows, b.Rows)
+	}
+	for i := range a.Rows {
+		if a.Rows[i][0].AsText() != b.Rows[i][0].AsText() {
+			t.Fatalf("reloaded join row %d: %v vs %v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}
+
+func TestTimestampColumns(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE ev (id INTEGER, at TIMESTAMP)`)
+	// Timestamps are inserted through the typed API in production code;
+	// here we verify ordering and persistence round-trip at the SQL layer
+	// using the Insert helper below.
+	when := time.Date(2008, 7, 8, 12, 0, 0, 0, time.UTC)
+	if err := InsertRow(db, "ev", []string{"id", "at"}, []Value{Int(1), Time(when)}); err != nil {
+		t.Fatalf("InsertRow: %v", err)
+	}
+	if err := InsertRow(db, "ev", []string{"id", "at"}, []Value{Int(2), Time(when.AddDate(1, 0, 0))}); err != nil {
+		t.Fatalf("InsertRow: %v", err)
+	}
+	res := mustQuery(t, db, `SELECT id FROM ev ORDER BY at DESC`)
+	if res.Rows[0][0].AsInt() != 2 {
+		t.Fatalf("timestamp ordering wrong: %v", res.Rows)
+	}
+	path := filepath.Join(t.TempDir(), "ev.gob.gz")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = mustQuery(t, back, `SELECT id FROM ev ORDER BY at`)
+	if res.Rows[0][0].AsInt() != 1 {
+		t.Fatalf("timestamps lost on reload: %v", res.Rows)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := seedDB(t)
+	bad := []string{
+		`SELECT nosuch FROM os`,
+		`SELECT name FROM nosuch`,
+		`SELECT name FROM os WHERE`,
+		`INSERT INTO nosuch (a) VALUES (1)`,
+		`INSERT INTO os (nosuch) VALUES (1)`,
+		`CREATE TABLE os (id INTEGER)`, // duplicate table
+		`CREATE TABLE bad ()`,
+		`DELETE FROM nosuch`,
+		`UPDATE nosuch SET a = 1`,
+		`SELECT COUNT(*) FROM os GROUP BY`,
+		`SELECT * FROM os ORDER`,
+		`TRUNCATE os`,
+		`SELECT name FROM os LIMIT -1`,
+		`SELECT MAX(*) FROM vuln`,
+	}
+	for _, sql := range bad {
+		if _, err := db.Query(sql); err == nil {
+			if _, err2 := db.Exec(sql); err2 == nil {
+				t.Errorf("statement %q accepted", sql)
+			}
+		}
+	}
+}
+
+func TestExecRejectsSelectAndQueryRejectsDML(t *testing.T) {
+	db := seedDB(t)
+	if _, err := db.Exec(`SELECT * FROM os`); err == nil {
+		t.Error("Exec accepted SELECT")
+	}
+	if _, err := db.Query(`DELETE FROM os`); err == nil {
+		t.Error("Query accepted DELETE")
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := seedDB(t)
+	// Both os and vuln have a column named id: unqualified use must fail.
+	if _, err := db.Query(`SELECT id FROM os JOIN vuln ON os.id = vuln.id`); err == nil {
+		t.Fatal("ambiguous column accepted")
+	}
+}
+
+func TestStringEscaping(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE s (v TEXT)`)
+	mustExec(t, db, `INSERT INTO s (v) VALUES ('it''s a test')`)
+	res := mustQuery(t, db, `SELECT v FROM s WHERE v = 'it''s a test'`)
+	if len(res.Rows) != 1 || res.Rows[0][0].AsText() != "it's a test" {
+		t.Fatalf("escaped string = %v", res.Rows)
+	}
+}
+
+func TestComments(t *testing.T) {
+	db := seedDB(t)
+	res := mustQuery(t, db, "SELECT name FROM os -- trailing comment\nWHERE family = 'BSD'")
+	if len(res.Rows) != 2 {
+		t.Fatalf("comment handling broke query: %v", res.Rows)
+	}
+}
+
+func TestTablesAndRowCount(t *testing.T) {
+	db := seedDB(t)
+	tables := db.Tables()
+	if len(tables) != 3 || tables[0] != "os" {
+		t.Fatalf("Tables() = %v", tables)
+	}
+	if _, err := db.RowCount("nosuch"); err == nil {
+		t.Error("RowCount on missing table succeeded")
+	}
+	mustExec(t, db, `DROP TABLE os_vuln`)
+	if len(db.Tables()) != 2 {
+		t.Error("DROP TABLE did not remove table")
+	}
+}
+
+func TestQueryInt(t *testing.T) {
+	db := seedDB(t)
+	n, err := db.QueryInt(`SELECT COUNT(*) FROM vuln`)
+	if err != nil || n != 4 {
+		t.Fatalf("QueryInt = %d, %v", n, err)
+	}
+	if _, err := db.QueryInt(`SELECT id FROM vuln`); err == nil {
+		t.Error("QueryInt accepted multi-row result")
+	}
+	if _, err := db.QueryInt(`SELECT cve FROM vuln LIMIT 1`); err == nil {
+		t.Error("QueryInt accepted text result")
+	}
+}
+
+func TestLikeMatchProperty(t *testing.T) {
+	// A pattern equal to the string (no wildcards) always matches;
+	// a '%'-only pattern matches everything.
+	f := func(raw uint32) bool {
+		s := fmt.Sprintf("v%d", raw%10000)
+		return likeMatch(s, s) && likeMatch(s, "%") && likeMatch(s, "v%") && !likeMatch(s, "x%")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLikeMatchTable(t *testing.T) {
+	tests := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"CVE-2008-4609", "CVE-2008-%", true},
+		{"CVE-2008-4609", "%4609", true},
+		{"CVE-2008-4609", "CVE-____-4609", true},
+		{"CVE-2008-4609", "cve-2008-%", false}, // case sensitive
+		{"abc", "a%c", true},
+		{"abc", "a_c", true},
+		{"abc", "a_b", false},
+		{"", "%", true},
+		{"", "_", false},
+		{"%literal", "%literal", true},
+	}
+	for _, tt := range tests {
+		if got := likeMatch(tt.s, tt.pat); got != tt.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", tt.s, tt.pat, got, tt.want)
+		}
+	}
+}
+
+func TestValueCompareTotalOrderProperty(t *testing.T) {
+	vals := []Value{
+		Null(), Int(-3), Int(0), Int(7), Float(2.5), Float(7.0),
+		Text(""), Text("a"), Text("b"), Bool(false), Bool(true),
+		Time(time.Date(2001, 1, 1, 0, 0, 0, 0, time.UTC)),
+		Time(time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC)),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if a.Compare(b) != -b.Compare(a) {
+				t.Fatalf("Compare(%v,%v) not antisymmetric", a, b)
+			}
+			for _, c := range vals {
+				if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+					t.Fatalf("Compare not transitive: %v %v %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestNumericCrossKindEquality(t *testing.T) {
+	if !Int(7).Equal(Float(7.0)) {
+		t.Error("Int(7) != Float(7.0)")
+	}
+	if Int(7).Equal(Float(7.5)) {
+		t.Error("Int(7) == Float(7.5)")
+	}
+	if Int(7).key() != Float(7.0).key() {
+		t.Error("hash keys differ for equal numerics (breaks joins on mixed columns)")
+	}
+	if Null().Equal(Null()) {
+		t.Error("NULL = NULL must be false")
+	}
+}
+
+func TestInsertRowsBulkProperty(t *testing.T) {
+	// Inserting n rows then COUNT(*) always returns n; GROUP BY k SUM
+	// matches a hand computation.
+	f := func(seed uint8) bool {
+		db := Open()
+		if _, err := db.Exec(`CREATE TABLE t (k INTEGER, v INTEGER)`); err != nil {
+			return false
+		}
+		n := int(seed)%40 + 1
+		sums := map[int64]int64{}
+		for i := 0; i < n; i++ {
+			k := int64(i % 5)
+			v := int64(i * i)
+			sums[k] += v
+			if err := InsertRow(db, "t", []string{"k", "v"}, []Value{Int(k), Int(v)}); err != nil {
+				return false
+			}
+		}
+		cnt, err := db.QueryInt(`SELECT COUNT(*) FROM t`)
+		if err != nil || cnt != int64(n) {
+			return false
+		}
+		res, err := db.Query(`SELECT k, SUM(v) FROM t GROUP BY k ORDER BY k`)
+		if err != nil {
+			return false
+		}
+		for _, row := range res.Rows {
+			if sums[row[0].AsInt()] != row[1].AsInt() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

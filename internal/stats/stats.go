@@ -1,0 +1,197 @@
+// Package stats supplies the small statistics toolkit the study needs:
+// summary statistics, Pearson and Spearman correlation (used to quantify
+// Figure 2's "peaks and valleys" family-correlation claim), Jaccard
+// overlap, and a deterministic bootstrap for confidence intervals.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrShortData is returned when an estimator needs more points.
+var ErrShortData = errors.New("stats: not enough data points")
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Pearson computes the Pearson product-moment correlation of two equal
+// length series.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: series length mismatch")
+	}
+	if len(xs) < 3 {
+		return 0, ErrShortData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman computes the rank correlation (Pearson over ranks, with
+// average ranks for ties).
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: series length mismatch")
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks converts values to average ranks (1-based).
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Jaccard computes |A∩B| / |A∪B| from the three counts.
+func Jaccard(onlyA, onlyB, both int) float64 {
+	union := onlyA + onlyB + both
+	if union == 0 {
+		return 0
+	}
+	return float64(both) / float64(union)
+}
+
+// Quantile returns the q-quantile (0..1) of the data by linear
+// interpolation; the input need not be sorted.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrShortData
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// rng is a tiny deterministic xorshift64* generator, so bootstrap
+// results are reproducible without seeding globals.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// BootstrapCI estimates a confidence interval for a statistic by
+// resampling with replacement. The seed makes runs reproducible.
+func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, confidence float64, seed uint64) (lo, hi float64, err error) {
+	if len(xs) < 2 {
+		return 0, 0, ErrShortData
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, errors.New("stats: confidence out of range")
+	}
+	r := newRNG(seed)
+	estimates := make([]float64, resamples)
+	sample := make([]float64, len(xs))
+	for i := 0; i < resamples; i++ {
+		for j := range sample {
+			sample[j] = xs[r.intn(len(xs))]
+		}
+		estimates[i] = stat(sample)
+	}
+	alpha := (1 - confidence) / 2
+	lo, err = Quantile(estimates, alpha)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = Quantile(estimates, 1-alpha)
+	return lo, hi, err
+}
+
+// SeriesAlign takes two year→count maps and returns aligned slices over
+// the union of years (missing years contribute 0), plus the sorted
+// years. Useful for correlating Figure 2 curves.
+func SeriesAlign(a, b map[int]int) (xs, ys []float64, years []int) {
+	seen := make(map[int]bool)
+	for y := range a {
+		seen[y] = true
+	}
+	for y := range b {
+		seen[y] = true
+	}
+	for y := range seen {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	xs = make([]float64, len(years))
+	ys = make([]float64, len(years))
+	for i, y := range years {
+		xs[i] = float64(a[y])
+		ys[i] = float64(b[y])
+	}
+	return xs, ys, years
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if got := StdDev(xs); math.Abs(got-2.138089935299395) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("degenerate inputs not zero")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almost(r, 1) {
+		t.Errorf("perfect correlation = %v, %v", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil || !almost(r, -1) {
+		t.Errorf("perfect anticorrelation = %v, %v", r, err)
+	}
+	if _, err := Pearson(xs, ys[:3]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{3, 4}); err == nil {
+		t.Error("too-short input accepted")
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero variance accepted")
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(seed uint32) bool {
+		xs := make([]float64, 8)
+		ys := make([]float64, 8)
+		s := uint64(seed) + 1
+		for i := range xs {
+			s = s*6364136223846793005 + 1442695040888963407
+			xs[i] = float64(s%1000) / 10
+			s = s*6364136223846793005 + 1442695040888963407
+			ys[i] = float64(s%1000) / 10
+		}
+		r, err := Pearson(xs, ys)
+		if err != nil {
+			return true // degenerate draw (zero variance)
+		}
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone but non-linear relation: Spearman sees rank correlation 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 4, 9, 16, 25}
+	r, err := Spearman(xs, ys)
+	if err != nil || !almost(r, 1) {
+		t.Errorf("Spearman(monotone) = %v, %v", r, err)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if !almost(Jaccard(2, 3, 5), 0.5) {
+		t.Errorf("Jaccard = %v", Jaccard(2, 3, 5))
+	}
+	if Jaccard(0, 0, 0) != 0 {
+		t.Error("empty Jaccard not zero")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	for _, tt := range []struct{ q, want float64 }{
+		{0, 1}, {0.5, 3}, {1, 5}, {0.25, 2},
+	} {
+		got, err := Quantile(xs, tt.q)
+		if err != nil || !almost(got, tt.want) {
+			t.Errorf("Quantile(%v) = %v, %v; want %v", tt.q, got, err, tt.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty quantile accepted")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("out-of-range quantile accepted")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 10)
+	}
+	lo, hi, err := BootstrapCI(xs, Mean, 500, 0.95, 42)
+	if err != nil {
+		t.Fatalf("BootstrapCI: %v", err)
+	}
+	m := Mean(xs)
+	if lo > m || hi < m {
+		t.Errorf("CI [%v, %v] excludes the point estimate %v", lo, hi, m)
+	}
+	if hi-lo > 2 {
+		t.Errorf("CI [%v, %v] implausibly wide", lo, hi)
+	}
+	lo2, hi2, err := BootstrapCI(xs, Mean, 500, 0.95, 42)
+	if err != nil || lo2 != lo || hi2 != hi {
+		t.Error("bootstrap not reproducible with fixed seed")
+	}
+	if _, _, err := BootstrapCI(xs[:1], Mean, 10, 0.95, 1); err == nil {
+		t.Error("short data accepted")
+	}
+	if _, _, err := BootstrapCI(xs, Mean, 10, 1.5, 1); err == nil {
+		t.Error("bad confidence accepted")
+	}
+}
+
+func TestSeriesAlign(t *testing.T) {
+	a := map[int]int{2000: 5, 2002: 7}
+	b := map[int]int{2001: 3, 2002: 2}
+	xs, ys, years := SeriesAlign(a, b)
+	wantYears := []int{2000, 2001, 2002}
+	if len(years) != 3 {
+		t.Fatalf("years = %v", years)
+	}
+	for i, y := range wantYears {
+		if years[i] != y {
+			t.Fatalf("years = %v", years)
+		}
+	}
+	if xs[0] != 5 || xs[1] != 0 || xs[2] != 7 {
+		t.Errorf("xs = %v", xs)
+	}
+	if ys[0] != 0 || ys[1] != 3 || ys[2] != 2 {
+		t.Errorf("ys = %v", ys)
+	}
+}

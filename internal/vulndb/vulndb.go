@@ -1,0 +1,426 @@
+// Package vulndb implements the paper's Figure 1: the custom SQL schema
+// into which the collection program inserts parsed NVD feeds, "deployed
+// ... to do the aggregation of vulnerabilities by affected products and
+// versions".
+//
+// The schema runs on internal/relstore and holds everything the analyses
+// need; entries can be loaded from any source of cve.Entry values and
+// extracted back losslessly enough for internal/core to reproduce every
+// table. SQL helpers demonstrate the aggregation queries of §III run on
+// the embedded engine.
+package vulndb
+
+import (
+	"fmt"
+
+	"osdiversity/internal/classify"
+	"osdiversity/internal/cpe"
+	"osdiversity/internal/cve"
+	"osdiversity/internal/cvss"
+	"osdiversity/internal/osmap"
+	"osdiversity/internal/relstore"
+)
+
+// schema is the Figure 1 DDL, adapted to the relstore dialect. The
+// cvss, vulnerability_type and security_protection satellites mirror the
+// paper's layout.
+var schema = []string{
+	`CREATE TABLE os (
+		id INTEGER PRIMARY KEY,
+		name TEXT,
+		family TEXT,
+		first_release INTEGER)`,
+	`CREATE TABLE vulnerability (
+		id INTEGER PRIMARY KEY,
+		name TEXT,
+		year INTEGER,
+		published TIMESTAMP,
+		summary TEXT)`,
+	`CREATE TABLE vulnerability_type (
+		vuln_id INTEGER,
+		type TEXT)`,
+	`CREATE TABLE security_protection (
+		vuln_id INTEGER,
+		validity TEXT)`,
+	`CREATE TABLE cvss (
+		vuln_id INTEGER,
+		access_vector TEXT,
+		access_complexity TEXT,
+		authentication TEXT,
+		conf_impact TEXT,
+		integ_impact TEXT,
+		avail_impact TEXT,
+		score FLOAT,
+		remote BOOLEAN)`,
+	`CREATE TABLE product (
+		id INTEGER PRIMARY KEY,
+		part TEXT,
+		vendor TEXT,
+		name TEXT)`,
+	`CREATE TABLE os_vuln (
+		os_id INTEGER,
+		vuln_id INTEGER,
+		version TEXT)`,
+	`CREATE TABLE vuln_product (
+		vuln_id INTEGER,
+		product_id INTEGER,
+		version TEXT)`,
+	`CREATE INDEX ON os_vuln (vuln_id)`,
+	`CREATE INDEX ON os_vuln (os_id)`,
+	`CREATE INDEX ON vuln_product (vuln_id)`,
+	`CREATE INDEX ON vulnerability (year)`,
+}
+
+// DB wraps a relstore database carrying the study schema.
+type DB struct {
+	store     *relstore.DB
+	registry  *osmap.Registry
+	osIDs     map[osmap.Distro]int64
+	productID map[string]int64
+	nextVuln  int64
+	nextProd  int64
+}
+
+// Create builds a fresh database with the schema and the os table
+// populated from the registry.
+func Create() (*DB, error) {
+	db := &DB{
+		store:     relstore.Open(),
+		registry:  osmap.NewRegistry(),
+		osIDs:     make(map[osmap.Distro]int64, osmap.NumDistros),
+		productID: make(map[string]int64),
+	}
+	for _, ddl := range schema {
+		if _, err := db.store.Exec(ddl); err != nil {
+			return nil, fmt.Errorf("vulndb: schema: %w", err)
+		}
+	}
+	for i, d := range osmap.Distros() {
+		id := int64(i + 1)
+		db.osIDs[d] = id
+		err := relstore.InsertRow(db.store, "os",
+			[]string{"id", "name", "family", "first_release"},
+			[]relstore.Value{
+				relstore.Int(id), relstore.Text(d.String()),
+				relstore.Text(d.Family().String()), relstore.Int(int64(d.FirstReleaseYear())),
+			})
+		if err != nil {
+			return nil, fmt.Errorf("vulndb: seed os table: %w", err)
+		}
+	}
+	return db, nil
+}
+
+// Store exposes the underlying relational store for ad-hoc SQL.
+func (db *DB) Store() *relstore.DB { return db.store }
+
+// InsertEntry loads one NVD entry through the Figure 1 schema. Entries
+// without any clustered OS product are skipped (the paper keeps only its
+// 64 CPEs); the return value reports whether the entry was stored.
+func (db *DB) InsertEntry(e *cve.Entry, classifier *classify.Classifier) (bool, error) {
+	clustered := false
+	for _, p := range e.Products {
+		if _, ok := db.registry.Cluster(p); ok {
+			clustered = true
+			break
+		}
+	}
+	if !clustered {
+		return false, nil
+	}
+	db.nextVuln++
+	vulnID := db.nextVuln
+	err := relstore.InsertRow(db.store, "vulnerability",
+		[]string{"id", "name", "year", "published", "summary"},
+		[]relstore.Value{
+			relstore.Int(vulnID), relstore.Text(e.ID.String()),
+			relstore.Int(int64(e.Year())), relstore.Time(e.Published), relstore.Text(e.Summary),
+		})
+	if err != nil {
+		return false, err
+	}
+
+	class := classifier.Classify(e)
+	if err := relstore.InsertRow(db.store, "vulnerability_type",
+		[]string{"vuln_id", "type"},
+		[]relstore.Value{relstore.Int(vulnID), relstore.Text(class.String())}); err != nil {
+		return false, err
+	}
+	validity := classify.EntryValidity(e)
+	if err := relstore.InsertRow(db.store, "security_protection",
+		[]string{"vuln_id", "validity"},
+		[]relstore.Value{relstore.Int(vulnID), relstore.Text(validity.String())}); err != nil {
+		return false, err
+	}
+	if !e.CVSS.IsZero() {
+		v := e.CVSS
+		err := relstore.InsertRow(db.store, "cvss",
+			[]string{"vuln_id", "access_vector", "access_complexity", "authentication",
+				"conf_impact", "integ_impact", "avail_impact", "score", "remote"},
+			[]relstore.Value{
+				relstore.Int(vulnID), relstore.Text(v.AV.String()), relstore.Text(v.AC.String()),
+				relstore.Text(v.Au.String()), relstore.Text(v.C.String()), relstore.Text(v.I.String()),
+				relstore.Text(v.A.String()), relstore.Float(v.BaseScore()), relstore.Bool(v.AV.Remote()),
+			})
+		if err != nil {
+			return false, err
+		}
+	}
+
+	for _, p := range e.Products {
+		prodID, err := db.internProduct(p)
+		if err != nil {
+			return false, err
+		}
+		if err := relstore.InsertRow(db.store, "vuln_product",
+			[]string{"vuln_id", "product_id", "version"},
+			[]relstore.Value{relstore.Int(vulnID), relstore.Int(prodID), relstore.Text(p.Version)}); err != nil {
+			return false, err
+		}
+		if d, ok := db.registry.Cluster(p); ok && p.IsOS() {
+			if err := relstore.InsertRow(db.store, "os_vuln",
+				[]string{"os_id", "vuln_id", "version"},
+				[]relstore.Value{relstore.Int(db.osIDs[d]), relstore.Int(vulnID), relstore.Text(p.Version)}); err != nil {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+func (db *DB) internProduct(p cpe.Name) (int64, error) {
+	key := p.Part.String() + ":" + p.Vendor + ":" + p.Product
+	if id, ok := db.productID[key]; ok {
+		return id, nil
+	}
+	db.nextProd++
+	id := db.nextProd
+	err := relstore.InsertRow(db.store, "product",
+		[]string{"id", "part", "vendor", "name"},
+		[]relstore.Value{relstore.Int(id), relstore.Text(p.Part.String()), relstore.Text(p.Vendor), relstore.Text(p.Product)})
+	if err != nil {
+		return 0, err
+	}
+	db.productID[key] = id
+	return id, nil
+}
+
+// LoadEntries bulk-inserts entries, returning how many were stored and
+// how many skipped.
+func (db *DB) LoadEntries(entries []*cve.Entry, classifier *classify.Classifier) (stored, skipped int, err error) {
+	for _, e := range entries {
+		ok, err := db.InsertEntry(e, classifier)
+		if err != nil {
+			return stored, skipped, fmt.Errorf("vulndb: %s: %w", e.ID, err)
+		}
+		if ok {
+			stored++
+		} else {
+			skipped++
+		}
+	}
+	return stored, skipped, nil
+}
+
+// Entries reconstructs cve.Entry values from the schema, in insertion
+// order. The round trip preserves everything internal/core consumes.
+func (db *DB) Entries() ([]*cve.Entry, error) {
+	products := make(map[int64]cpe.Name)
+	err := relstore.ScanTable(db.store, "product", func(row []relstore.Value) bool {
+		part, _ := cpe.ParsePart(row[1].AsText())
+		products[row[0].AsInt()] = cpe.Name{Part: part, Vendor: row[2].AsText(), Product: row[3].AsText()}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type build struct {
+		entry *cve.Entry
+		order int64
+	}
+	byID := make(map[int64]*build)
+	var orderedIDs []int64
+	err = relstore.ScanTable(db.store, "vulnerability", func(row []relstore.Value) bool {
+		id, err := cve.ParseID(row[1].AsText())
+		if err != nil {
+			return true
+		}
+		vid := row[0].AsInt()
+		byID[vid] = &build{
+			entry: &cve.Entry{ID: id, Published: row[3].AsTime(), Summary: row[4].AsText()},
+			order: vid,
+		}
+		orderedIDs = append(orderedIDs, vid)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	err = relstore.ScanTable(db.store, "cvss", func(row []relstore.Value) bool {
+		b, ok := byID[row[0].AsInt()]
+		if !ok {
+			return true
+		}
+		vec, err := vectorFromRow(row)
+		if err == nil {
+			b.entry.CVSS = vec
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	err = relstore.ScanTable(db.store, "vuln_product", func(row []relstore.Value) bool {
+		b, ok := byID[row[0].AsInt()]
+		if !ok {
+			return true
+		}
+		p, ok := products[row[1].AsInt()]
+		if !ok {
+			return true
+		}
+		p.Version = row[2].AsText()
+		b.entry.Products = append(b.entry.Products, p)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]*cve.Entry, 0, len(orderedIDs))
+	for _, vid := range orderedIDs {
+		out = append(out, byID[vid].entry)
+	}
+	return out, nil
+}
+
+// vectorFromRow rebuilds a CVSS vector from the cvss table's metric
+// spellings.
+func vectorFromRow(row []relstore.Value) (cvss.Vector, error) {
+	var v cvss.Vector
+	switch row[1].AsText() {
+	case "NETWORK":
+		v.AV = cvss.AccessNetwork
+	case "ADJACENT_NETWORK":
+		v.AV = cvss.AccessAdjacentNetwork
+	case "LOCAL":
+		v.AV = cvss.AccessLocal
+	default:
+		return v, fmt.Errorf("vulndb: bad access vector %q", row[1].AsText())
+	}
+	switch row[2].AsText() {
+	case "HIGH":
+		v.AC = cvss.ComplexityHigh
+	case "MEDIUM":
+		v.AC = cvss.ComplexityMedium
+	case "LOW":
+		v.AC = cvss.ComplexityLow
+	}
+	switch row[3].AsText() {
+	case "MULTIPLE_INSTANCES":
+		v.Au = cvss.AuthMultiple
+	case "SINGLE_INSTANCE":
+		v.Au = cvss.AuthSingle
+	case "NONE":
+		v.Au = cvss.AuthNone
+	}
+	impact := func(s string) cvss.Impact {
+		switch s {
+		case "PARTIAL":
+			return cvss.ImpactPartial
+		case "COMPLETE":
+			return cvss.ImpactComplete
+		default:
+			return cvss.ImpactNone
+		}
+	}
+	v.C = impact(row[4].AsText())
+	v.I = impact(row[5].AsText())
+	v.A = impact(row[6].AsText())
+	return v, nil
+}
+
+// CountByOS runs the paper's first aggregation as SQL: valid
+// vulnerabilities per OS name.
+func (db *DB) CountByOS() (map[string]int, error) {
+	res, err := db.store.Query(`
+		SELECT os.name, COUNT(DISTINCT os_vuln.vuln_id) AS n
+		FROM os
+		JOIN os_vuln ON os.id = os_vuln.os_id
+		JOIN security_protection sp ON os_vuln.vuln_id = sp.vuln_id
+		WHERE sp.validity = 'Valid'
+		GROUP BY os.name`)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(res.Rows))
+	for _, row := range res.Rows {
+		out[row[0].AsText()] = int(row[1].AsInt())
+	}
+	return out, nil
+}
+
+// SharedCount runs the pairwise-overlap aggregation as SQL: distinct
+// valid vulnerabilities affecting both named OSes.
+func (db *DB) SharedCount(a, b string) (int, error) {
+	n, err := db.store.QueryInt(fmt.Sprintf(`
+		SELECT COUNT(DISTINCT x.vuln_id)
+		FROM os_vuln x
+		JOIN os oa ON x.os_id = oa.id
+		JOIN os_vuln y ON x.vuln_id = y.vuln_id
+		JOIN os ob ON y.os_id = ob.id
+		JOIN security_protection sp ON x.vuln_id = sp.vuln_id
+		WHERE oa.name = '%s' AND ob.name = '%s' AND sp.validity = 'Valid'`, a, b))
+	return int(n), err
+}
+
+// Save persists the database to disk; Open loads it back.
+func (db *DB) Save(path string) error { return db.store.Save(path) }
+
+// Open loads a saved database. Note that the loader's intern tables are
+// rebuilt so further inserts keep working.
+func Open(path string) (*DB, error) {
+	store, err := relstore.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		store:     store,
+		registry:  osmap.NewRegistry(),
+		osIDs:     make(map[osmap.Distro]int64, osmap.NumDistros),
+		productID: make(map[string]int64),
+	}
+	err = relstore.ScanTable(store, "os", func(row []relstore.Value) bool {
+		if d, err := osmap.ParseDistro(row[1].AsText()); err == nil {
+			db.osIDs[d] = row[0].AsInt()
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = relstore.ScanTable(store, "product", func(row []relstore.Value) bool {
+		key := row[1].AsText() + ":" + row[2].AsText() + ":" + row[3].AsText()
+		db.productID[key] = row[0].AsInt()
+		if row[0].AsInt() > db.nextProd {
+			db.nextProd = row[0].AsInt()
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = relstore.ScanTable(store, "vulnerability", func(row []relstore.Value) bool {
+		if row[0].AsInt() > db.nextVuln {
+			db.nextVuln = row[0].AsInt()
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}

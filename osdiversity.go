@@ -1,0 +1,436 @@
+// Package osdiversity is the public face of the reproduction of
+// "OS Diversity for Intrusion Tolerance: Myth or Reality?" (Garcia,
+// Bessani, Gashi, Neves, Obelheiro — DSN 2011).
+//
+// The package wraps the internal pipeline — calibrated corpus
+// generation, NVD 2.0 XML feeds, the embedded SQL store with the paper's
+// schema, and the shared-vulnerability analysis — behind a small API of
+// plain Go types:
+//
+//	feeds, _ := osdiversity.GenerateFeeds("feeds/")   // synthetic NVD
+//	a, _ := osdiversity.LoadFeeds(feeds...)           // parse + analyze
+//	for _, row := range a.PairwiseOverlaps() {        // paper Table III
+//	    fmt.Println(row.A, row.B, row.All, row.NoApp, row.Remote)
+//	}
+//	best := a.SelectReplicaSets(4, true, 2005)[0]     // paper §IV-C
+//
+// Operating systems are identified by their display names (for example
+// "OpenBSD", "Windows2003"); OSNames lists them.
+package osdiversity
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"osdiversity/internal/attack"
+	"osdiversity/internal/classify"
+	"osdiversity/internal/core"
+	"osdiversity/internal/corpus"
+	"osdiversity/internal/cve"
+	"osdiversity/internal/nvdfeed"
+	"osdiversity/internal/osmap"
+	"osdiversity/internal/vulndb"
+)
+
+// OSNames returns the 11 distribution names of the study, in the paper's
+// presentation order.
+func OSNames() []string {
+	var out []string
+	for _, d := range osmap.Distros() {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// FamilyOf returns the OS family of a distribution name ("BSD",
+// "Solaris", "Linux" or "Windows").
+func FamilyOf(osName string) (string, error) {
+	d, err := osmap.ParseDistro(osName)
+	if err != nil {
+		return "", err
+	}
+	return d.Family().String(), nil
+}
+
+// GenerateFeeds writes the calibrated synthetic NVD data feeds (one
+// gzip-compressed XML file per publication year, like NVD distributes
+// them) into dir and returns the file paths.
+func GenerateFeeds(dir string) ([]string, error) {
+	c, err := corpus.Generate()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("osdiversity: %w", err)
+	}
+	byYear := make(map[int][]*cve.Entry)
+	for _, e := range c.Entries {
+		byYear[e.Year()] = append(byYear[e.Year()], e)
+	}
+	years := make([]int, 0, len(byYear))
+	for y := range byYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	var paths []string
+	for _, y := range years {
+		entries := byYear[y]
+		cve.SortEntries(entries)
+		path := filepath.Join(dir, fmt.Sprintf("nvdcve-2.0-%d.xml.gz", y))
+		if err := nvdfeed.WriteFile(path, fmt.Sprintf("CVE-%d", y), entries); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// Analysis answers the paper's questions over one ingested data set.
+type Analysis struct {
+	study *core.Study
+}
+
+// LoadFeeds parses NVD XML feed files (plain or .gz) and builds the
+// analysis.
+func LoadFeeds(paths ...string) (*Analysis, error) {
+	var entries []*cve.Entry
+	for _, path := range paths {
+		es, err := nvdfeed.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, es...)
+	}
+	return &Analysis{study: core.NewStudy(entries)}, nil
+}
+
+// LoadCalibrated builds the analysis directly over the calibrated
+// synthetic corpus, skipping the XML round trip.
+func LoadCalibrated() (*Analysis, error) {
+	c, err := corpus.Generate()
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{study: core.NewStudy(c.Entries)}, nil
+}
+
+// ImportFeeds parses feeds into the paper's SQL schema and persists the
+// database at dbPath. Returns (stored, skipped).
+func ImportFeeds(dbPath string, feedPaths ...string) (int, int, error) {
+	db, err := vulndb.Create()
+	if err != nil {
+		return 0, 0, err
+	}
+	classifier := classify.NewClassifier()
+	stored, skipped := 0, 0
+	for _, path := range feedPaths {
+		entries, err := nvdfeed.ReadFile(path)
+		if err != nil {
+			return stored, skipped, err
+		}
+		st, sk, err := db.LoadEntries(entries, classifier)
+		if err != nil {
+			return stored, skipped, err
+		}
+		stored += st
+		skipped += sk
+	}
+	if err := db.Save(dbPath); err != nil {
+		return stored, skipped, err
+	}
+	return stored, skipped, nil
+}
+
+// LoadDatabase builds the analysis from a database produced by
+// ImportFeeds.
+func LoadDatabase(dbPath string) (*Analysis, error) {
+	db, err := vulndb.Open(dbPath)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := db.Entries()
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{study: core.NewStudy(entries)}, nil
+}
+
+// ValidCount returns the number of distinct valid vulnerabilities.
+func (a *Analysis) ValidCount() int { return a.study.ValidEntries() }
+
+// ValidityRow is one row of the paper's Table I.
+type ValidityRow struct {
+	OS          string
+	Valid       int
+	Unknown     int
+	Unspecified int
+	Disputed    int
+}
+
+// ValidityTable reproduces Table I; the second result is the distinct
+// totals row.
+func (a *Analysis) ValidityTable() ([]ValidityRow, ValidityRow) {
+	rows, distinct := a.study.ValidityTable()
+	out := make([]ValidityRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, ValidityRow{
+			OS: r.Distro.String(), Valid: r.Valid,
+			Unknown: r.Unknown, Unspecified: r.Unspecified, Disputed: r.Disputed,
+		})
+	}
+	return out, ValidityRow{OS: "# distinct", Valid: distinct.Valid,
+		Unknown: distinct.Unknown, Unspecified: distinct.Unspecified, Disputed: distinct.Disputed}
+}
+
+// ClassRow is one row of the paper's Table II.
+type ClassRow struct {
+	OS      string
+	Driver  int
+	Kernel  int
+	SysSoft int
+	App     int
+}
+
+// ClassTable reproduces Table II. The shares are the percentage of
+// distinct vulnerabilities per class (Driver, Kernel, SysSoft, App).
+func (a *Analysis) ClassTable() ([]ClassRow, [4]float64) {
+	rows, shares := a.study.ClassTable()
+	out := make([]ClassRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, ClassRow{
+			OS: r.Distro.String(), Driver: r.Driver, Kernel: r.Kernel,
+			SysSoft: r.SysSoft, App: r.App,
+		})
+	}
+	return out, shares
+}
+
+// PairOverlap is one row of the paper's Table III.
+type PairOverlap struct {
+	A, B string
+	// Per-OS totals under the three profiles.
+	TotalA, TotalB     [3]int
+	All, NoApp, Remote int
+}
+
+// PairwiseOverlaps reproduces Table III for all 55 pairs.
+func (a *Analysis) PairwiseOverlaps() []PairOverlap {
+	var out []PairOverlap
+	totals := make(map[osmap.Distro][3]int)
+	for _, d := range osmap.Distros() {
+		totals[d] = [3]int{
+			a.study.Total(d, core.FatServer),
+			a.study.Total(d, core.ThinServer),
+			a.study.Total(d, core.IsolatedThinServer),
+		}
+	}
+	for _, p := range osmap.AllPairs() {
+		out = append(out, PairOverlap{
+			A: p.A.String(), B: p.B.String(),
+			TotalA: totals[p.A], TotalB: totals[p.B],
+			All:    a.study.Overlap(p, core.FatServer),
+			NoApp:  a.study.Overlap(p, core.ThinServer),
+			Remote: a.study.Overlap(p, core.IsolatedThinServer),
+		})
+	}
+	return out
+}
+
+// PartRow is one row of the paper's Table IV.
+type PartRow struct {
+	A, B    string
+	Driver  int
+	Kernel  int
+	SysSoft int
+	Total   int
+}
+
+// PartBreakdowns reproduces Table IV: Isolated-Thin-Server pairs with a
+// non-zero overlap, broken down by component class, largest first.
+func (a *Analysis) PartBreakdowns() []PartRow {
+	var out []PartRow
+	for _, p := range osmap.AllPairs() {
+		parts := a.study.PartBreakdown(p)
+		if parts.Total() == 0 {
+			continue
+		}
+		out = append(out, PartRow{
+			A: p.A.String(), B: p.B.String(),
+			Driver: parts.Driver, Kernel: parts.Kernel, SysSoft: parts.SysSoft,
+			Total: parts.Total(),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// PeriodCell is one cell of the paper's Table V.
+type PeriodCell struct {
+	A, B     string
+	History  int
+	Observed int
+}
+
+// HistoryObserved reproduces Table V over the 8 history-eligible OSes,
+// split at splitYear (the paper uses 2005).
+func (a *Analysis) HistoryObserved(splitYear int) []PeriodCell {
+	var out []PeriodCell
+	for _, p := range osmap.PairsOf(osmap.HistoryEligible()) {
+		pc := a.study.PeriodSplit(p, splitYear)
+		out = append(out, PeriodCell{A: p.A.String(), B: p.B.String(),
+			History: pc.History, Observed: pc.Observed})
+	}
+	return out
+}
+
+// TemporalSeries reproduces one Figure 2 curve: publication counts per
+// year for one OS.
+func (a *Analysis) TemporalSeries(osName string) (map[int]int, error) {
+	d, err := osmap.ParseDistro(osName)
+	if err != nil {
+		return nil, err
+	}
+	return a.study.TemporalSeries(d), nil
+}
+
+// ReplicaSet is one ranked replica configuration (§IV-C).
+type ReplicaSet struct {
+	Members []string
+	Cost    int
+}
+
+// SelectReplicaSets ranks all size-k subsets of the history-eligible
+// OSes by shared vulnerabilities up to toYear, ascending. With
+// onePerFamily, sets drawing two OSes from one family are excluded
+// (the constraint under which the paper's printed top-3 is optimal).
+func (a *Analysis) SelectReplicaSets(k int, onePerFamily bool, toYear int) []ReplicaSet {
+	strategy := core.MinPairSum
+	if onePerFamily {
+		strategy = core.OnePerFamily
+	}
+	ranked := a.study.RankReplicaSets(osmap.HistoryEligible(), k, strategy,
+		core.SelectionWindow{ToYear: toYear})
+	out := make([]ReplicaSet, 0, len(ranked))
+	for _, r := range ranked {
+		rs := ReplicaSet{Cost: r.Cost}
+		for _, d := range r.Members {
+			rs.Members = append(rs.Members, d.String())
+		}
+		out = append(out, rs)
+	}
+	return out
+}
+
+// EvaluateConfiguration reproduces one Figure 3 bar pair: the shared
+// count of a configuration over the history window and the observed
+// window. A single-member configuration models identical replicas.
+func (a *Analysis) EvaluateConfiguration(osNames []string, splitYear int) (history, observed int, err error) {
+	ds, err := parseDistros(osNames)
+	if err != nil {
+		return 0, 0, err
+	}
+	history, observed = a.study.EvaluateConfiguration(ds, splitYear)
+	return history, observed, nil
+}
+
+// KWiseProducts returns, for each k, the number of distinct valid
+// vulnerabilities affecting at least k OS products (§IV-B).
+func (a *Analysis) KWiseProducts() map[int]int {
+	return a.study.KWiseProducts(core.FatServer)
+}
+
+// MostShared returns the CVE identifiers of the n vulnerabilities
+// affecting the most OS products.
+func (a *Analysis) MostShared(n int) []string {
+	var out []string
+	for _, e := range a.study.MostSharedEntries(n) {
+		out = append(out, e.ID.String())
+	}
+	return out
+}
+
+// FilterReduction returns the §IV-E(1) statistic: the average percentage
+// reduction of pairwise overlap from the Fat Server to the Isolated Thin
+// Server profile.
+func (a *Analysis) FilterReduction() float64 {
+	return a.study.FilterReduction(core.FatServer, core.IsolatedThinServer)
+}
+
+// ReleaseOverlap reproduces one Table VI cell, identifying releases by
+// OS name and version string (for example "Debian", "4.0").
+func (a *Analysis) ReleaseOverlap(osA, verA, osB, verB string) (int, error) {
+	da, err := osmap.ParseDistro(osA)
+	if err != nil {
+		return 0, err
+	}
+	db, err := osmap.ParseDistro(osB)
+	if err != nil {
+		return 0, err
+	}
+	return a.study.ReleaseOverlap(da, verA, db, verB), nil
+}
+
+// AttackSummary aggregates a Monte Carlo attack batch (the
+// reproduction's extension experiment).
+type AttackSummary struct {
+	Name        string
+	MeanTTC     float64
+	MedianTTC   float64
+	SharedFatal float64
+	Unbroken    int
+}
+
+// SimulateAttack runs the sequential-campaign adversary of
+// internal/attack against a replica configuration with fault threshold
+// f (the configuration needs 3f+1 members).
+func (a *Analysis) SimulateAttack(name string, osNames []string, f, trials int) (AttackSummary, error) {
+	ds, err := parseDistros(osNames)
+	if err != nil {
+		return AttackSummary{}, err
+	}
+	model := attack.NewModel(a.study, core.IsolatedThinServer)
+	sum, err := model.MonteCarlo(attack.Scenario{Name: name, F: f, OSes: ds}, trials)
+	if err != nil {
+		return AttackSummary{}, err
+	}
+	return AttackSummary{
+		Name: name, MeanTTC: sum.MeanTTC, MedianTTC: sum.MedianTTC,
+		SharedFatal: sum.SharedFatal, Unbroken: sum.Unbroken,
+	}, nil
+}
+
+// DiversityGain compares mean time-to-compromise of a diverse
+// configuration against a homogeneous baseline of baselineOS.
+func (a *Analysis) DiversityGain(baselineOS string, diverse []string, f, trials int) (float64, error) {
+	base, err := parseDistros([]string{baselineOS})
+	if err != nil {
+		return 0, err
+	}
+	ds, err := parseDistros(diverse)
+	if err != nil {
+		return 0, err
+	}
+	homog := make([]osmap.Distro, 3*f+1)
+	for i := range homog {
+		homog[i] = base[0]
+	}
+	model := attack.NewModel(a.study, core.IsolatedThinServer)
+	return model.Gain(
+		attack.Scenario{Name: "homogeneous", F: f, OSes: homog},
+		attack.Scenario{Name: "diverse", F: f, OSes: ds},
+		trials)
+}
+
+func parseDistros(names []string) ([]osmap.Distro, error) {
+	out := make([]osmap.Distro, 0, len(names))
+	for _, n := range names {
+		d, err := osmap.ParseDistro(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
