@@ -7,19 +7,27 @@ package osdiversity
 // numbers, so `go test -bench=.` doubles as the reproduction script.
 
 import (
+	"fmt"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"osdiversity/internal/attack"
+	"osdiversity/internal/classify"
 	"osdiversity/internal/core"
 	"osdiversity/internal/corpus"
+	"osdiversity/internal/cve"
 	"osdiversity/internal/nvdfeed"
 	"osdiversity/internal/osmap"
 	"osdiversity/internal/paperdata"
 	"osdiversity/internal/stats"
+	"osdiversity/internal/vulndb"
 )
 
-var benchStudy *core.Study
+var (
+	benchStudy         *core.Study
+	benchStudyParallel *core.Study
+)
 
 func studyForBench(b *testing.B) *core.Study {
 	b.Helper()
@@ -31,6 +39,22 @@ func studyForBench(b *testing.B) *core.Study {
 		benchStudy = core.NewStudy(c.Entries)
 	}
 	return benchStudy
+}
+
+// benchWorkers is the worker count of the sharded-engine benchmarks
+// (the acceptance configuration).
+const benchWorkers = 4
+
+func studyForBenchParallel(b *testing.B) *core.Study {
+	b.Helper()
+	if benchStudyParallel == nil {
+		c, err := corpus.Generate()
+		if err != nil {
+			b.Fatalf("corpus.Generate: %v", err)
+		}
+		benchStudyParallel = core.NewStudy(c.Entries, core.WithParallelism(benchWorkers))
+	}
+	return benchStudyParallel
 }
 
 // BenchmarkTable1Distribution regenerates Table I (E1).
@@ -211,6 +235,219 @@ func BenchmarkAttackSimulation(b *testing.B) {
 		gain, err := model.Gain(homog, diverse, 100)
 		if err != nil || gain <= 1.2 {
 			b.Fatalf("diversity gain = %.2f, %v", gain, err)
+		}
+	}
+}
+
+// --- parallel engine benchmarks -----------------------------------------
+//
+// The *Serial benchmarks measure the seed's single-goroutine algorithms
+// with the memo cache cleared every iteration; the *Parallel variants
+// measure the sharded engine at benchWorkers workers, also uncached, and
+// assert the same paper numbers; the *Cached variants measure the
+// memoized steady state (repeated CLI/benchmark invocations).
+
+// BenchmarkTable1DistributionSerial regenerates Table I from scratch on
+// the serial path every iteration.
+func BenchmarkTable1DistributionSerial(b *testing.B) {
+	s := studyForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearCache()
+		_, distinct := s.ValidityTable()
+		if distinct.Valid != paperdata.DistinctValid {
+			b.Fatalf("Table I mismatch: %d distinct", distinct.Valid)
+		}
+	}
+}
+
+// BenchmarkTable1DistributionParallel regenerates Table I from scratch
+// on the sharded engine every iteration.
+func BenchmarkTable1DistributionParallel(b *testing.B) {
+	s := studyForBenchParallel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearCache()
+		_, distinct := s.ValidityTable()
+		if distinct.Valid != paperdata.DistinctValid {
+			b.Fatalf("Table I mismatch: %d distinct", distinct.Valid)
+		}
+	}
+}
+
+// BenchmarkTable1DistributionCached measures the memoized steady state.
+func BenchmarkTable1DistributionCached(b *testing.B) {
+	s := studyForBenchParallel(b)
+	s.ValidityTable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, distinct := s.ValidityTable()
+		if distinct.Valid != paperdata.DistinctValid {
+			b.Fatalf("Table I mismatch: %d distinct", distinct.Valid)
+		}
+	}
+}
+
+// BenchmarkTable3PairwiseSerial regenerates all 55 pair overlaps of one
+// profile column from scratch, serially.
+func BenchmarkTable3PairwiseSerial(b *testing.B) {
+	s := studyForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearCache()
+		m := s.PairMatrix(core.FatServer)
+		for p, n := range m {
+			if n != paperdata.PairTable[p].All {
+				b.Fatalf("Table III mismatch at %v", p)
+			}
+		}
+	}
+}
+
+// BenchmarkTable3PairwiseParallel regenerates the same column on the
+// sharded engine.
+func BenchmarkTable3PairwiseParallel(b *testing.B) {
+	s := studyForBenchParallel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearCache()
+		m := s.PairMatrix(core.FatServer)
+		for p, n := range m {
+			if n != paperdata.PairTable[p].All {
+				b.Fatalf("Table III mismatch at %v", p)
+			}
+		}
+	}
+}
+
+// BenchmarkKWiseSerial regenerates the k-wise product counts serially.
+func BenchmarkKWiseSerial(b *testing.B) {
+	s := studyForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearCache()
+		kwise := s.KWiseProducts(core.FatServer)
+		if kwise[6] != paperdata.KWiseProducts[6] {
+			b.Fatalf("k-wise mismatch: %d", kwise[6])
+		}
+	}
+}
+
+// BenchmarkKWiseParallel regenerates the k-wise product counts on the
+// sharded engine.
+func BenchmarkKWiseParallel(b *testing.B) {
+	s := studyForBenchParallel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearCache()
+		kwise := s.KWiseProducts(core.FatServer)
+		if kwise[6] != paperdata.KWiseProducts[6] {
+			b.Fatalf("k-wise mismatch: %d", kwise[6])
+		}
+	}
+}
+
+// BenchmarkSelectionUncached re-ranks the replica sets from scratch
+// every iteration (the window pair matrix is recomputed, not memoized).
+func BenchmarkSelectionUncached(b *testing.B) {
+	s := studyForBenchParallel(b)
+	window := core.SelectionWindow{ToYear: paperdata.HistoryEndYear}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearCache()
+		ranked := s.RankReplicaSets(osmap.HistoryEligible(), 4, core.OnePerFamily, window)
+		if len(ranked) != 12 || ranked[0].Cost != 10 {
+			b.Fatalf("selection mismatch: best cost %d", ranked[0].Cost)
+		}
+	}
+}
+
+// BenchmarkStudyConstructionParallel digests the full corpus with the
+// ingestion worker pool.
+func BenchmarkStudyConstructionParallel(b *testing.B) {
+	c, err := corpus.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := core.NewStudy(c.Entries, core.WithParallelism(benchWorkers))
+		if s.ValidEntries() != paperdata.DistinctValid {
+			b.Fatal("study mismatch")
+		}
+	}
+}
+
+// BenchmarkCorpusGenerationParallel renders the corpus on the worker
+// pool.
+func BenchmarkCorpusGenerationParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := corpus.Generate(corpus.WithParallelism(benchWorkers))
+		if err != nil || len(c.Entries) != paperdata.TotalCollected {
+			b.Fatalf("generate: %v, %d entries", err, len(c.Entries))
+		}
+	}
+}
+
+// BenchmarkFeedReadParallel measures the multi-file decode pipeline over
+// the per-year feed set (the LoadFeeds hot path).
+func BenchmarkFeedReadParallel(b *testing.B) {
+	benchmarkFeedRead(b, nvdfeed.Workers(benchWorkers))
+}
+
+// BenchmarkFeedReadSerial is the single-goroutine baseline of the same
+// workload.
+func BenchmarkFeedReadSerial(b *testing.B) {
+	benchmarkFeedRead(b)
+}
+
+func benchmarkFeedRead(b *testing.B, opts ...nvdfeed.ReaderOption) {
+	b.Helper()
+	c, err := corpus.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	byYear := make(map[int][]*cve.Entry)
+	for _, e := range c.Entries {
+		byYear[e.Year()] = append(byYear[e.Year()], e)
+	}
+	var paths []string
+	for y, entries := range byYear {
+		cve.SortEntries(entries)
+		path := filepath.Join(dir, fmt.Sprintf("nvdcve-2.0-%d.xml.gz", y))
+		if err := nvdfeed.WriteFile(path, fmt.Sprintf("CVE-%d", y), entries); err != nil {
+			b.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entries, err := nvdfeed.ReadFiles(paths, opts...)
+		if err != nil || len(entries) != len(c.Entries) {
+			b.Fatalf("read: %v, %d entries", err, len(entries))
+		}
+	}
+}
+
+// BenchmarkVulnDBLoadParallel measures the parallel-digest, batched
+// insert ingestion of the full corpus.
+func BenchmarkVulnDBLoadParallel(b *testing.B) {
+	c, err := corpus.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	classifier := classify.NewClassifier()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, err := vulndb.Create()
+		if err != nil {
+			b.Fatal(err)
+		}
+		stored, _, err := db.LoadEntriesParallel(c.Entries, classifier, benchWorkers)
+		if err != nil || stored == 0 {
+			b.Fatalf("load: %v, %d stored", err, stored)
 		}
 	}
 }

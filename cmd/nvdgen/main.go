@@ -20,13 +20,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nvdgen: ")
 	out := flag.String("out", "feeds", "output directory for the XML feeds")
+	workers := flag.Int("workers", 1, "worker count for rendering and writing (0 = all CPUs)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	paths, err := osdiversity.GenerateFeeds(*out)
+	paths, err := osdiversity.GenerateFeeds(*out, osdiversity.WithParallelism(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}

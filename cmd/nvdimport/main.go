@@ -20,13 +20,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nvdimport: ")
 	db := flag.String("db", "study.db", "path of the database file to write")
+	workers := flag.Int("workers", 1, "worker count for decoding and ingestion (0 = all CPUs)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: nvdimport -db study.db feed.xml[.gz]...")
+		fmt.Fprintln(os.Stderr, "usage: nvdimport [-db study.db] [-workers n] feed.xml[.gz]...")
 		os.Exit(2)
 	}
 
-	stored, skipped, err := osdiversity.ImportFeeds(*db, flag.Args()...)
+	stored, skipped, err := osdiversity.ImportFeeds(*db, flag.Args(), osdiversity.WithParallelism(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -35,12 +35,13 @@ func main() {
 
 	db := flag.String("db", "", "analyze a database produced by nvdimport")
 	feeds := flag.String("feeds", "", "analyze XML feeds from this directory")
+	workers := flag.Int("workers", 1, "worker count for ingestion and analysis (0 = all CPUs)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 	}
 
-	a, err := loadAnalysis(*db, *feeds)
+	a, err := loadAnalysis(*db, *feeds, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,22 +69,23 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir] tables|figures|kwise|select|releases|simulate [options]")
+	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir] [-workers n] tables|figures|kwise|select|releases|simulate [options]")
 	os.Exit(2)
 }
 
-func loadAnalysis(db, feeds string) (*osdiversity.Analysis, error) {
+func loadAnalysis(db, feeds string, workers int) (*osdiversity.Analysis, error) {
+	opt := osdiversity.WithParallelism(workers)
 	switch {
 	case db != "":
-		return osdiversity.LoadDatabase(db)
+		return osdiversity.LoadDatabase(db, opt)
 	case feeds != "":
 		matches, err := filepath.Glob(filepath.Join(feeds, "*.xml*"))
 		if err != nil || len(matches) == 0 {
 			return nil, fmt.Errorf("no feeds found in %s", feeds)
 		}
-		return osdiversity.LoadFeeds(matches...)
+		return osdiversity.LoadFeeds(matches, opt)
 	default:
-		return osdiversity.LoadCalibrated()
+		return osdiversity.LoadCalibrated(opt)
 	}
 }
 

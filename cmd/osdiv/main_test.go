@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// The smoke tests re-execute the test binary with GO_OSDIV_MAIN=1 so
+// each subcommand runs through the real main(), flag parsing, loaders
+// and printers, end to end against the generated calibrated corpus.
+
+func TestMain(m *testing.M) {
+	if os.Getenv("GO_OSDIV_MAIN") == "1" {
+		os.Args = []string{"osdiv"}
+		if raw := os.Getenv("GO_OSDIV_ARGS"); raw != "" {
+			os.Args = append(os.Args, strings.Split(raw, "\x1f")...)
+		}
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runOsdiv re-executes the test binary as the osdiv command.
+func runOsdiv(t *testing.T, args ...string) (stdout, stderr string, exitCode int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestMain")
+	cmd.Env = append(os.Environ(),
+		"GO_OSDIV_MAIN=1",
+		"GO_OSDIV_ARGS="+strings.Join(args, "\x1f"))
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	code := 0
+	if exitErr, ok := err.(*exec.ExitError); ok {
+		code = exitErr.ExitCode()
+	} else if err != nil {
+		t.Fatalf("run osdiv %v: %v", args, err)
+	}
+	return outBuf.String(), errBuf.String(), code
+}
+
+func TestSubcommandsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the corpus per subcommand")
+	}
+	tests := []struct {
+		name string
+		args []string
+		// wantOut are substrings that must appear on stdout.
+		wantOut []string
+	}{
+		{
+			name: "tables",
+			args: []string{"-workers", "4", "tables"},
+			wantOut: []string{
+				"Table I — distribution of OS vulnerabilities in NVD",
+				"Table II — vulnerabilities per OS component class",
+				"Table III — shared vulnerabilities per OS pair",
+				"Table IV — common vulnerabilities on Isolated Thin Servers by part",
+				"Table V — history (1994-2005) vs observed (2006-2010)",
+				"# distinct",
+				"1887",
+			},
+		},
+		{
+			name:    "tables one",
+			args:    []string{"tables", "-t", "1"},
+			wantOut: []string{"Table I", "1887"},
+		},
+		{
+			name: "figures",
+			args: []string{"-workers", "4", "figures"},
+			wantOut: []string{
+				"Figure 2 — Windows family",
+				"Figure 2 — Linux family",
+				"Figure 3 — configurations, history period (1994-2005)",
+			},
+		},
+		{
+			name:    "kwise",
+			args:    []string{"-workers", "4", "kwise"},
+			wantOut: []string{"k-wise overlap", "most shared: CVE-2008-4609"},
+		},
+		{
+			name:    "select",
+			args:    []string{"-workers", "4", "select", "-one-per-family", "-top", "3"},
+			wantOut: []string{"replica sets of size 4", "Windows2003", "Solaris"},
+		},
+		{
+			name:    "releases",
+			args:    []string{"-workers", "4", "releases"},
+			wantOut: []string{"Table VI — common vulnerabilities between OS releases", "Debian4.0-RedHat5.0"},
+		},
+		{
+			name:    "simulate",
+			args:    []string{"-workers", "4", "simulate", "-trials", "20"},
+			wantOut: []string{"attack simulation", "diversity gain (Set1 vs homogeneous Debian)"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			stdout, stderr, code := runOsdiv(t, tt.args...)
+			if code != 0 {
+				t.Fatalf("exit code %d, stderr: %s", code, stderr)
+			}
+			for _, want := range tt.wantOut {
+				if !strings.Contains(stdout, want) {
+					t.Errorf("stdout missing %q\nstdout: %.2000s", want, stdout)
+				}
+			}
+		})
+	}
+}
+
+func TestBareInvocationUsage(t *testing.T) {
+	_, stderr, code := runOsdiv(t)
+	if code != 2 {
+		t.Fatalf("bare invocation exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage: osdiv") {
+		t.Errorf("stderr missing usage line: %s", stderr)
+	}
+}
+
+func TestUnknownSubcommandUsage(t *testing.T) {
+	_, stderr, code := runOsdiv(t, "frobnicate")
+	if code != 2 {
+		t.Fatalf("unknown subcommand exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage: osdiv") {
+		t.Errorf("stderr missing usage line: %s", stderr)
+	}
+}
+
+func TestUnknownTableFails(t *testing.T) {
+	_, stderr, code := runOsdiv(t, "tables", "-t", "9")
+	if code == 0 {
+		t.Fatal("tables -t 9 succeeded, want failure")
+	}
+	if !strings.Contains(stderr, "unknown table") {
+		t.Errorf("stderr missing diagnostic: %s", stderr)
+	}
+}

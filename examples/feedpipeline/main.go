@@ -27,7 +27,7 @@ func main() {
 		log.Fatal(err)
 	}
 	dbPath := filepath.Join(dir, "study.db")
-	stored, skipped, err := osdiversity.ImportFeeds(dbPath, feeds...)
+	stored, skipped, err := osdiversity.ImportFeeds(dbPath, feeds, osdiversity.WithParallelism(0))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -28,8 +28,9 @@ func main() {
 	}
 	fmt.Printf("generated %d NVD feed files\n", len(feeds))
 
-	// 2. Parse them through the real XML pipeline and analyze.
-	a, err := osdiversity.LoadFeeds(feeds...)
+	// 2. Parse them through the real XML pipeline (decoding feed files
+	// concurrently) and analyze on the sharded engine.
+	a, err := osdiversity.LoadFeeds(feeds, osdiversity.WithParallelism(0))
 	if err != nil {
 		log.Fatal(err)
 	}

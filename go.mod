@@ -1,0 +1,3 @@
+module osdiversity
+
+go 1.24

@@ -1,0 +1,557 @@
+package core
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"osdiversity/internal/classify"
+	"osdiversity/internal/osmap"
+)
+
+// This file is the sharded half of the analysis engine. Every table
+// query has two implementations: the serial single-goroutine path (the
+// reference, in study.go and selection.go) and a shard/merge path here
+// that partitions the record slice across a bounded worker pool,
+// computes per-shard partial aggregates in a single pass, and merges
+// them in shard order so the result is deterministic. Completed tables
+// are memoized behind a sync.Once-style cache keyed by (query, profile,
+// args), so repeated benchmark/CLI invocations are near-free.
+
+// minParallelItems is the slice length below which sharding is not
+// worth the goroutine fan-out and the serial body runs instead.
+const minParallelItems = 64
+
+// WithParallelism sets the worker count used for ingestion and the
+// sharded table queries. n <= 0 selects GOMAXPROCS; the default is 1
+// (the serial reference path).
+func WithParallelism(n int) Option {
+	return func(s *Study) { s.workerCount.Store(int32(normWorkers(n))) }
+}
+
+// SetParallelism changes the worker count of an existing Study. Tables
+// already cached are kept: both paths produce identical results.
+func (s *Study) SetParallelism(n int) { s.workerCount.Store(int32(normWorkers(n))) }
+
+// Parallelism reports the effective worker count.
+func (s *Study) Parallelism() int { return s.workers() }
+
+func normWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// workers reads the count once; an unset field (zero) means serial.
+func (s *Study) workers() int {
+	if n := int(s.workerCount.Load()); n > 1 {
+		return n
+	}
+	return 1
+}
+
+func (s *Study) isParallel() bool { return s.workers() > 1 }
+
+// query identifiers for the result cache.
+const (
+	qValidity = iota
+	qClass
+	qTotals
+	qPairs
+	qParts
+	qPeriods
+	qTemporal
+	qKWiseClusters
+	qKWiseProducts
+	qWindowPairs
+	qWindowTotals
+)
+
+// ckey identifies one memoized table: the query, the profile filter and
+// up to two integer arguments (split year, window bounds, distro index).
+type ckey struct {
+	q       uint8
+	profile Profile
+	a, b    int
+}
+
+type cacheEntry struct {
+	once sync.Once
+	val  any
+}
+
+// cached returns the memoized result for k, computing it at most once
+// per cache generation. Concurrent callers of the same key block on a
+// single computation (single-flight).
+func (s *Study) cached(k ckey, compute func() any) any {
+	s.cacheMu.Lock()
+	if s.cache == nil {
+		s.cache = make(map[ckey]*cacheEntry)
+	}
+	e, ok := s.cache[k]
+	if !ok {
+		e = &cacheEntry{}
+		s.cache[k] = e
+	}
+	s.cacheMu.Unlock()
+	e.once.Do(func() { e.val = compute() })
+	return e.val
+}
+
+// ClearCache drops every memoized table. The record set is immutable,
+// so this is only needed to benchmark the raw compute paths.
+func (s *Study) ClearCache() {
+	s.cacheMu.Lock()
+	s.cache = nil
+	s.cacheMu.Unlock()
+}
+
+// runShards splits [0, n) into one contiguous range per worker and runs
+// body on each concurrently.
+func runShards(workers, n int, body func(lo, hi int)) {
+	if workers <= 1 || n < minParallelItems {
+		body(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// reduceShards partitions recs across the worker pool, runs body over
+// each shard into a fresh aggregate, and merges the partials in shard
+// order. With one worker (or a short slice) it degenerates to a single
+// pass with no goroutines.
+func reduceShards[A any](workers int, recs []record, newAgg func() A, body func(agg A, shard []record), merge func(dst, src A)) A {
+	dst := newAgg()
+	if workers <= 1 || len(recs) < minParallelItems {
+		body(dst, recs)
+		return dst
+	}
+	if workers > len(recs) {
+		workers = len(recs)
+	}
+	chunk := (len(recs) + workers - 1) / workers
+	nShards := (len(recs) + chunk - 1) / chunk
+	parts := make([]A, nShards)
+	var wg sync.WaitGroup
+	for i := 0; i < nShards; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			a := newAgg()
+			body(a, recs[lo:hi])
+			parts[i] = a
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for i := 0; i < nShards; i++ {
+		merge(dst, parts[i])
+	}
+	return dst
+}
+
+// forEachBit calls fn with the index of every set bit of mask.
+func forEachBit(mask uint16, fn func(i int)) {
+	for m := mask; m != 0; m &= m - 1 {
+		fn(bits.TrailingZeros16(m))
+	}
+}
+
+// --- parallel aggregates -------------------------------------------------
+
+// validityAgg is the per-shard partial of Table I.
+type validityAgg struct {
+	valid    [osmap.NumDistros]int
+	invalid  [osmap.NumDistros][3]int // unknown, unspecified, disputed
+	distinct [3]int
+}
+
+func validityIdx(v classify.Validity) int {
+	switch v {
+	case classify.Unknown:
+		return 0
+	case classify.Unspecified:
+		return 1
+	default: // Disputed
+		return 2
+	}
+}
+
+func (s *Study) validityParallel() *validityResult {
+	agg := reduceShards(s.workers(), s.records,
+		func() *validityAgg { return &validityAgg{} },
+		func(a *validityAgg, shard []record) {
+			for i := range shard {
+				forEachBit(shard[i].mask, func(b int) { a.valid[b]++ })
+			}
+		},
+		mergeValidity)
+	inv := reduceShards(s.workers(), s.invalid,
+		func() *validityAgg { return &validityAgg{} },
+		func(a *validityAgg, shard []record) {
+			for i := range shard {
+				vi := validityIdx(shard[i].validity)
+				a.distinct[vi]++
+				forEachBit(shard[i].mask, func(b int) { a.invalid[b][vi]++ })
+			}
+		},
+		mergeValidity)
+
+	res := &validityResult{rows: make([]ValidityRow, 0, osmap.NumDistros)}
+	for i, d := range osmap.Distros() {
+		res.rows = append(res.rows, ValidityRow{
+			Distro:      d,
+			Valid:       agg.valid[i],
+			Unknown:     inv.invalid[i][0],
+			Unspecified: inv.invalid[i][1],
+			Disputed:    inv.invalid[i][2],
+		})
+	}
+	res.distinct = ValidityRow{
+		Valid:       len(s.records),
+		Unknown:     inv.distinct[0],
+		Unspecified: inv.distinct[1],
+		Disputed:    inv.distinct[2],
+	}
+	return res
+}
+
+func mergeValidity(dst, src *validityAgg) {
+	for i := range dst.valid {
+		dst.valid[i] += src.valid[i]
+		for j := range dst.invalid[i] {
+			dst.invalid[i][j] += src.invalid[i][j]
+		}
+	}
+	for j := range dst.distinct {
+		dst.distinct[j] += src.distinct[j]
+	}
+}
+
+// classAgg is the per-shard partial of Table II.
+type classAgg struct {
+	perOS    [osmap.NumDistros][4]int
+	distinct [4]int
+}
+
+// classIdx maps a component class to its Table II column, or -1 for
+// classes outside the paper's four (which every count skips).
+func classIdx(c classify.Class) int {
+	switch c {
+	case classify.ClassDriver:
+		return 0
+	case classify.ClassKernel:
+		return 1
+	case classify.ClassSysSoft:
+		return 2
+	case classify.ClassApplication:
+		return 3
+	default:
+		return -1
+	}
+}
+
+func (s *Study) classParallel() *classResult {
+	agg := reduceShards(s.workers(), s.records,
+		func() *classAgg { return &classAgg{} },
+		func(a *classAgg, shard []record) {
+			for i := range shard {
+				ci := classIdx(shard[i].class)
+				if ci < 0 {
+					continue
+				}
+				a.distinct[ci]++
+				forEachBit(shard[i].mask, func(b int) { a.perOS[b][ci]++ })
+			}
+		},
+		func(dst, src *classAgg) {
+			for i := range dst.perOS {
+				for j := range dst.perOS[i] {
+					dst.perOS[i][j] += src.perOS[i][j]
+				}
+			}
+			for j := range dst.distinct {
+				dst.distinct[j] += src.distinct[j]
+			}
+		})
+
+	res := &classResult{rows: make([]ClassRow, 0, osmap.NumDistros)}
+	for i, d := range osmap.Distros() {
+		res.rows = append(res.rows, ClassRow{
+			Distro:  d,
+			Driver:  agg.perOS[i][0],
+			Kernel:  agg.perOS[i][1],
+			SysSoft: agg.perOS[i][2],
+			App:     agg.perOS[i][3],
+		})
+	}
+	if n := len(s.records); n > 0 {
+		for j := range agg.distinct {
+			res.shares[j] = 100 * float64(agg.distinct[j]) / float64(n)
+		}
+	}
+	return res
+}
+
+func (s *Study) totalsParallel(profile Profile) []int {
+	return reduceShards(s.workers(), s.records,
+		func() []int { return make([]int, osmap.NumDistros) },
+		func(a []int, shard []record) {
+			for i := range shard {
+				if !shard[i].matches(profile) {
+					continue
+				}
+				forEachBit(shard[i].mask, func(b int) { a[b]++ })
+			}
+		},
+		mergeIntSlice)
+}
+
+func mergeIntSlice(dst, src []int) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// maskBits unpacks the set-bit indices of mask into dst, returning the
+// count. Enumerating bit pairs visits C(k,2) cells per record instead of
+// scanning all 55 pair masks — most records touch one to three distros.
+func maskBits(mask uint16, dst *[osmap.NumDistros]int) int {
+	n := 0
+	for m := mask; m != 0; m &= m - 1 {
+		dst[n] = bits.TrailingZeros16(m)
+		n++
+	}
+	return n
+}
+
+func (s *Study) pairCountsParallel(profile Profile) []int {
+	return reduceShards(s.workers(), s.records,
+		func() []int { return make([]int, len(s.pairs)) },
+		func(a []int, shard []record) {
+			var bs [osmap.NumDistros]int
+			for i := range shard {
+				r := &shard[i]
+				// Single-OS records cannot contribute to any pair.
+				if r.mask&(r.mask-1) == 0 || !r.matches(profile) {
+					continue
+				}
+				n := maskBits(r.mask, &bs)
+				for x := 0; x < n; x++ {
+					for y := x + 1; y < n; y++ {
+						a[s.pairAt[bs[x]][bs[y]]]++
+					}
+				}
+			}
+		},
+		mergeIntSlice)
+}
+
+func (s *Study) partsParallel() []PartCounts {
+	return reduceShards(s.workers(), s.records,
+		func() []PartCounts { return make([]PartCounts, len(s.pairs)) },
+		func(a []PartCounts, shard []record) {
+			var bs [osmap.NumDistros]int
+			for i := range shard {
+				r := &shard[i]
+				if r.mask&(r.mask-1) == 0 || !r.matches(IsolatedThinServer) {
+					continue
+				}
+				n := maskBits(r.mask, &bs)
+				for x := 0; x < n; x++ {
+					for y := x + 1; y < n; y++ {
+						pc := &a[s.pairAt[bs[x]][bs[y]]]
+						switch r.class {
+						case classify.ClassDriver:
+							pc.Driver++
+						case classify.ClassKernel:
+							pc.Kernel++
+						case classify.ClassSysSoft:
+							pc.SysSoft++
+						}
+					}
+				}
+			}
+		},
+		func(dst, src []PartCounts) {
+			for i := range dst {
+				dst[i].Driver += src[i].Driver
+				dst[i].Kernel += src[i].Kernel
+				dst[i].SysSoft += src[i].SysSoft
+			}
+		})
+}
+
+func (s *Study) periodsParallel(splitYear int) []PeriodCounts {
+	return reduceShards(s.workers(), s.records,
+		func() []PeriodCounts { return make([]PeriodCounts, len(s.pairs)) },
+		func(a []PeriodCounts, shard []record) {
+			var bs [osmap.NumDistros]int
+			for i := range shard {
+				r := &shard[i]
+				if r.mask&(r.mask-1) == 0 || !r.matches(IsolatedThinServer) {
+					continue
+				}
+				n := maskBits(r.mask, &bs)
+				for x := 0; x < n; x++ {
+					for y := x + 1; y < n; y++ {
+						pc := &a[s.pairAt[bs[x]][bs[y]]]
+						if r.year <= splitYear {
+							pc.History++
+						} else {
+							pc.Observed++
+						}
+					}
+				}
+			}
+		},
+		func(dst, src []PeriodCounts) {
+			for i := range dst {
+				dst[i].History += src[i].History
+				dst[i].Observed += src[i].Observed
+			}
+		})
+}
+
+func (s *Study) temporalParallel(d osmap.Distro) map[int]int {
+	bit := s.bit[d]
+	return reduceShards(s.workers(), s.records,
+		func() map[int]int { return make(map[int]int) },
+		func(a map[int]int, shard []record) {
+			for i := range shard {
+				if shard[i].mask&bit != 0 {
+					a[shard[i].year]++
+				}
+			}
+		},
+		mergeIntMap)
+}
+
+func mergeIntMap(dst, src map[int]int) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// kwiseAgg accumulates at-least-k counts in a dense slice (index k),
+// growing to the largest k seen; the map conversion happens once after
+// the merge.
+type kwiseAgg struct {
+	counts []int
+}
+
+func (a *kwiseAgg) bump(maxK int) {
+	if maxK < 2 {
+		return
+	}
+	for len(a.counts) <= maxK {
+		a.counts = append(a.counts, 0)
+	}
+	for k := 2; k <= maxK; k++ {
+		a.counts[k]++
+	}
+}
+
+func mergeKWise(dst, src *kwiseAgg) {
+	for len(dst.counts) < len(src.counts) {
+		dst.counts = append(dst.counts, 0)
+	}
+	for k := range src.counts {
+		dst.counts[k] += src.counts[k]
+	}
+}
+
+func (a *kwiseAgg) toMap() map[int]int {
+	out := make(map[int]int, len(a.counts))
+	for k := 2; k < len(a.counts); k++ {
+		if a.counts[k] > 0 {
+			out[k] = a.counts[k]
+		}
+	}
+	return out
+}
+
+func (s *Study) kwiseClustersParallel(profile Profile) map[int]int {
+	return reduceShards(s.workers(), s.records,
+		func() *kwiseAgg { return &kwiseAgg{} },
+		func(a *kwiseAgg, shard []record) {
+			for i := range shard {
+				r := &shard[i]
+				if r.matches(profile) {
+					a.bump(popcount(r.mask))
+				}
+			}
+		},
+		mergeKWise).toMap()
+}
+
+func (s *Study) kwiseProductsParallel(profile Profile) map[int]int {
+	return reduceShards(s.workers(), s.records,
+		func() *kwiseAgg { return &kwiseAgg{} },
+		func(a *kwiseAgg, shard []record) {
+			for i := range shard {
+				r := &shard[i]
+				if r.matches(profile) {
+					a.bump(r.products)
+				}
+			}
+		},
+		mergeKWise).toMap()
+}
+
+func (s *Study) windowPairsParallel(w SelectionWindow) []int {
+	return reduceShards(s.workers(), s.records,
+		func() []int { return make([]int, len(s.pairs)) },
+		func(a []int, shard []record) {
+			var bs [osmap.NumDistros]int
+			for i := range shard {
+				r := &shard[i]
+				if r.mask&(r.mask-1) == 0 || !r.matches(IsolatedThinServer) || !w.contains(r.year) {
+					continue
+				}
+				n := maskBits(r.mask, &bs)
+				for x := 0; x < n; x++ {
+					for y := x + 1; y < n; y++ {
+						a[s.pairAt[bs[x]][bs[y]]]++
+					}
+				}
+			}
+		},
+		mergeIntSlice)
+}
+
+func (s *Study) windowTotalsParallel(w SelectionWindow) []int {
+	return reduceShards(s.workers(), s.records,
+		func() []int { return make([]int, osmap.NumDistros) },
+		func(a []int, shard []record) {
+			for i := range shard {
+				r := &shard[i]
+				if !r.matches(IsolatedThinServer) || !w.contains(r.year) {
+					continue
+				}
+				forEachBit(r.mask, func(b int) { a[b]++ })
+			}
+		},
+		mergeIntSlice)
+}

@@ -72,9 +72,55 @@ func (w SelectionWindow) contains(year int) bool {
 	return true
 }
 
+// windowPairCounts returns every pair's Isolated-Thin-Server shared
+// count inside the window, indexed by position in osmap.AllPairs().
+// RankReplicaSets revisits the same pairs across many subsets, so the
+// memoized matrix turns subset enumeration into table lookups.
+func (s *Study) windowPairCounts(w SelectionWindow) []int {
+	return s.cached(ckey{q: qWindowPairs, a: w.FromYear, b: w.ToYear}, func() any {
+		if s.isParallel() {
+			return s.windowPairsParallel(w)
+		}
+		out := make([]int, len(s.pairs))
+		for i, p := range s.pairs {
+			out[i] = s.pairSharedInWindowSerial(p, w)
+		}
+		return out
+	}).([]int)
+}
+
+// windowTotals returns every distro's Isolated-Thin-Server valid count
+// inside the window, indexed by position in osmap.Distros().
+func (s *Study) windowTotals(w SelectionWindow) []int {
+	return s.cached(ckey{q: qWindowTotals, a: w.FromYear, b: w.ToYear}, func() any {
+		if s.isParallel() {
+			return s.windowTotalsParallel(w)
+		}
+		out := make([]int, osmap.NumDistros)
+		for i, d := range osmap.Distros() {
+			n := 0
+			for j := range s.records {
+				r := &s.records[j]
+				if s.affects(r, d) && r.matches(IsolatedThinServer) && w.contains(r.year) {
+					n++
+				}
+			}
+			out[i] = n
+		}
+		return out
+	}).([]int)
+}
+
 // PairSharedInWindow counts Isolated-Thin-Server shared vulnerabilities
 // of a pair published inside the window.
 func (s *Study) PairSharedInWindow(p osmap.Pair, w SelectionWindow) int {
+	if i, ok := s.pairIdx[p]; ok {
+		return s.windowPairCounts(w)[i]
+	}
+	return s.pairSharedInWindowSerial(p, w)
+}
+
+func (s *Study) pairSharedInWindowSerial(p osmap.Pair, w SelectionWindow) int {
 	both := s.bit[p.A] | s.bit[p.B]
 	n := 0
 	for i := range s.records {
@@ -92,14 +138,10 @@ func (s *Study) PairSharedInWindow(p osmap.Pair, w SelectionWindow) int {
 // window, since every vulnerability hits all identical replicas.
 func (s *Study) SetCost(members []osmap.Distro, w SelectionWindow) int {
 	if len(members) == 1 {
-		n := 0
-		for i := range s.records {
-			r := &s.records[i]
-			if s.affects(r, members[0]) && r.matches(IsolatedThinServer) && w.contains(r.year) {
-				n++
-			}
+		if i, ok := s.index[members[0]]; ok {
+			return s.windowTotals(w)[i]
 		}
-		return n
+		return 0
 	}
 	cost := 0
 	for _, p := range osmap.PairsOf(members) {

@@ -9,11 +9,21 @@
 // class distributions, pairwise and k-wise overlaps under the three
 // server profiles, temporal splits, replica-set selection and
 // per-release overlaps.
+//
+// The engine has two execution paths. The serial path (the bodies named
+// *Serial below) walks the record slice once per question, exactly as
+// the seed implementation did. With WithParallelism(n), n > 1, the
+// queries instead shard the record slice across a bounded worker pool
+// and merge per-shard partial aggregates (see parallel.go); both paths
+// produce identical tables. Completed tables are memoized per Study, so
+// regenerating a table is a lookup after the first computation.
 package core
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"osdiversity/internal/classify"
 	"osdiversity/internal/cve"
@@ -70,6 +80,21 @@ type Study struct {
 	invalid    []record // entries removed by the validity filter
 	skipped    int      // entries with no clustered OS product
 	bit        map[osmap.Distro]uint16
+	index      map[osmap.Distro]int // position in osmap.Distros()
+
+	// pairs/pairIdx freeze the osmap.AllPairs() order so the sharded
+	// all-pairs aggregates and the per-pair accessors agree; pairAt
+	// maps two distro bit indices to that order.
+	pairs   []osmap.Pair
+	pairIdx map[osmap.Pair]int
+	pairAt  [osmap.NumDistros][osmap.NumDistros]int
+
+	// workerCount is the query/ingestion worker count (1 = serial),
+	// atomic so SetParallelism can race with in-flight queries safely.
+	workerCount atomic.Int32
+
+	cacheMu sync.Mutex
+	cache   map[ckey]*cacheEntry
 }
 
 // Option configures a Study.
@@ -96,26 +121,67 @@ func NewStudy(entries []*cve.Entry, opts ...Option) *Study {
 		registry:   osmap.NewRegistry(),
 		classifier: classify.NewClassifier(),
 		bit:        make(map[osmap.Distro]uint16, osmap.NumDistros),
+		index:      make(map[osmap.Distro]int, osmap.NumDistros),
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
 	for i, d := range osmap.Distros() {
 		s.bit[d] = 1 << uint(i)
+		s.index[d] = i
 	}
-	for _, e := range entries {
-		rec, ok := s.digest(e)
-		if !ok {
-			s.skipped++
-			continue
-		}
-		if rec.validity != classify.Valid {
-			s.invalid = append(s.invalid, rec)
-			continue
-		}
-		s.records = append(s.records, rec)
+	s.pairs = osmap.AllPairs()
+	s.pairIdx = make(map[osmap.Pair]int, len(s.pairs))
+	for i, p := range s.pairs {
+		s.pairIdx[p] = i
 	}
+	ds := osmap.Distros()
+	for i := 0; i < len(ds); i++ {
+		for j := i + 1; j < len(ds); j++ {
+			pi := s.pairIdx[osmap.MakePair(ds[i], ds[j])]
+			s.pairAt[i][j] = pi
+			s.pairAt[j][i] = pi
+		}
+	}
+	s.ingest(entries)
 	return s
+}
+
+// ingest digests entries into records. With more than one worker the
+// digests run concurrently (the registry and classifier are read-only
+// after construction); the append pass stays in input order, so the
+// record layout is identical to the serial path.
+func (s *Study) ingest(entries []*cve.Entry) {
+	type digested struct {
+		rec record
+		ok  bool
+	}
+	var out []digested
+	if s.isParallel() && len(entries) >= minParallelItems {
+		out = make([]digested, len(entries))
+		runShards(s.workers(), len(entries), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				rec, ok := s.digest(entries[i])
+				out[i] = digested{rec, ok}
+			}
+		})
+	} else {
+		out = make([]digested, 0, len(entries))
+		for _, e := range entries {
+			rec, ok := s.digest(e)
+			out = append(out, digested{rec, ok})
+		}
+	}
+	for i := range out {
+		switch {
+		case !out[i].ok:
+			s.skipped++
+		case out[i].rec.validity != classify.Valid:
+			s.invalid = append(s.invalid, out[i].rec)
+		default:
+			s.records = append(s.records, out[i].rec)
+		}
+	}
 }
 
 func (s *Study) digest(e *cve.Entry) (record, bool) {
@@ -177,10 +243,26 @@ type ValidityRow struct {
 	Disputed    int
 }
 
+// validityResult is the memoized form of Table I.
+type validityResult struct {
+	rows     []ValidityRow
+	distinct ValidityRow
+}
+
 // ValidityTable reproduces Table I: per-OS valid/removed counts plus the
 // distinct totals across all OSes.
 func (s *Study) ValidityTable() (rows []ValidityRow, distinct ValidityRow) {
-	rows = make([]ValidityRow, 0, osmap.NumDistros)
+	v := s.cached(ckey{q: qValidity}, func() any {
+		if s.isParallel() {
+			return s.validityParallel()
+		}
+		return s.validitySerial()
+	}).(*validityResult)
+	return append([]ValidityRow(nil), v.rows...), v.distinct
+}
+
+func (s *Study) validitySerial() *validityResult {
+	res := &validityResult{rows: make([]ValidityRow, 0, osmap.NumDistros)}
 	for _, d := range osmap.Distros() {
 		row := ValidityRow{Distro: d}
 		for i := range s.records {
@@ -201,20 +283,20 @@ func (s *Study) ValidityTable() (rows []ValidityRow, distinct ValidityRow) {
 				row.Disputed++
 			}
 		}
-		rows = append(rows, row)
+		res.rows = append(res.rows, row)
 	}
-	distinct.Valid = len(s.records)
+	res.distinct.Valid = len(s.records)
 	for i := range s.invalid {
 		switch s.invalid[i].validity {
 		case classify.Unknown:
-			distinct.Unknown++
+			res.distinct.Unknown++
 		case classify.Unspecified:
-			distinct.Unspecified++
+			res.distinct.Unspecified++
 		case classify.Disputed:
-			distinct.Disputed++
+			res.distinct.Disputed++
 		}
 	}
-	return rows, distinct
+	return res
 }
 
 // ClassRow is one row of Table II.
@@ -229,10 +311,26 @@ type ClassRow struct {
 // Total returns the row sum.
 func (r ClassRow) Total() int { return r.Driver + r.Kernel + r.SysSoft + r.App }
 
+// classResult is the memoized form of Table II.
+type classResult struct {
+	rows   []ClassRow
+	shares [4]float64
+}
+
 // ClassTable reproduces Table II: per-OS component-class counts and the
 // distinct-vulnerability percentage shares of the four classes.
 func (s *Study) ClassTable() (rows []ClassRow, shares [4]float64) {
-	rows = make([]ClassRow, 0, osmap.NumDistros)
+	v := s.cached(ckey{q: qClass}, func() any {
+		if s.isParallel() {
+			return s.classParallel()
+		}
+		return s.classSerial()
+	}).(*classResult)
+	return append([]ClassRow(nil), v.rows...), v.shares
+}
+
+func (s *Study) classSerial() *classResult {
+	res := &classResult{rows: make([]ClassRow, 0, osmap.NumDistros)}
 	for _, d := range osmap.Distros() {
 		row := ClassRow{Distro: d}
 		for i := range s.records {
@@ -250,32 +348,47 @@ func (s *Study) ClassTable() (rows []ClassRow, shares [4]float64) {
 				row.App++
 			}
 		}
-		rows = append(rows, row)
+		res.rows = append(res.rows, row)
 	}
 	var counts [4]int
 	for i := range s.records {
-		switch s.records[i].class {
-		case classify.ClassDriver:
-			counts[0]++
-		case classify.ClassKernel:
-			counts[1]++
-		case classify.ClassSysSoft:
-			counts[2]++
-		case classify.ClassApplication:
-			counts[3]++
+		if ci := classIdx(s.records[i].class); ci >= 0 {
+			counts[ci]++
 		}
 	}
 	if n := len(s.records); n > 0 {
 		for i := range counts {
-			shares[i] = 100 * float64(counts[i]) / float64(n)
+			res.shares[i] = 100 * float64(counts[i]) / float64(n)
 		}
 	}
-	return rows, shares
+	return res
+}
+
+// totals returns the per-distro valid counts under a profile, indexed
+// by position in osmap.Distros().
+func (s *Study) totals(profile Profile) []int {
+	return s.cached(ckey{q: qTotals, profile: profile}, func() any {
+		if s.isParallel() {
+			return s.totalsParallel(profile)
+		}
+		out := make([]int, osmap.NumDistros)
+		for i, d := range osmap.Distros() {
+			out[i] = s.totalSerial(d, profile)
+		}
+		return out
+	}).([]int)
 }
 
 // Total counts the valid vulnerabilities of one distribution under a
 // profile (the v(A) columns of Table III).
 func (s *Study) Total(d osmap.Distro, profile Profile) int {
+	if i, ok := s.index[d]; ok {
+		return s.totals(profile)[i]
+	}
+	return s.totalSerial(d, profile)
+}
+
+func (s *Study) totalSerial(d osmap.Distro, profile Profile) int {
 	n := 0
 	for i := range s.records {
 		r := &s.records[i]
@@ -286,9 +399,31 @@ func (s *Study) Total(d osmap.Distro, profile Profile) int {
 	return n
 }
 
+// pairCounts returns all pairwise overlaps under a profile, indexed by
+// position in osmap.AllPairs().
+func (s *Study) pairCounts(profile Profile) []int {
+	return s.cached(ckey{q: qPairs, profile: profile}, func() any {
+		if s.isParallel() {
+			return s.pairCountsParallel(profile)
+		}
+		out := make([]int, len(s.pairs))
+		for i, p := range s.pairs {
+			out[i] = s.overlapSerial(p, profile)
+		}
+		return out
+	}).([]int)
+}
+
 // Overlap counts the vulnerabilities shared by both members of a pair
 // under a profile (the v(AB) columns of Table III).
 func (s *Study) Overlap(p osmap.Pair, profile Profile) int {
+	if i, ok := s.pairIdx[p]; ok {
+		return s.pairCounts(profile)[i]
+	}
+	return s.overlapSerial(p, profile)
+}
+
+func (s *Study) overlapSerial(p osmap.Pair, profile Profile) int {
 	both := s.bit[p.A] | s.bit[p.B]
 	n := 0
 	for i := range s.records {
@@ -302,9 +437,10 @@ func (s *Study) Overlap(p osmap.Pair, profile Profile) int {
 
 // PairMatrix computes all 55 pairwise overlaps under a profile.
 func (s *Study) PairMatrix(profile Profile) map[osmap.Pair]int {
-	out := make(map[osmap.Pair]int, 55)
-	for _, p := range osmap.AllPairs() {
-		out[p] = s.Overlap(p, profile)
+	counts := s.pairCounts(profile)
+	out := make(map[osmap.Pair]int, len(s.pairs))
+	for i, p := range s.pairs {
+		out[p] = counts[i]
 	}
 	return out
 }
@@ -320,8 +456,30 @@ type PartCounts struct {
 // Total sums the row.
 func (p PartCounts) Total() int { return p.Driver + p.Kernel + p.SysSoft }
 
+// partCounts returns every pair's Table IV row, indexed by position in
+// osmap.AllPairs().
+func (s *Study) partCounts() []PartCounts {
+	return s.cached(ckey{q: qParts}, func() any {
+		if s.isParallel() {
+			return s.partsParallel()
+		}
+		out := make([]PartCounts, len(s.pairs))
+		for i, p := range s.pairs {
+			out[i] = s.partBreakdownSerial(p)
+		}
+		return out
+	}).([]PartCounts)
+}
+
 // PartBreakdown reproduces one pair's Table IV row.
 func (s *Study) PartBreakdown(p osmap.Pair) PartCounts {
+	if i, ok := s.pairIdx[p]; ok {
+		return s.partCounts()[i]
+	}
+	return s.partBreakdownSerial(p)
+}
+
+func (s *Study) partBreakdownSerial(p osmap.Pair) PartCounts {
 	both := s.bit[p.A] | s.bit[p.B]
 	var out PartCounts
 	for i := range s.records {
@@ -351,9 +509,31 @@ type PeriodCounts struct {
 // Total sums the cell.
 func (p PeriodCounts) Total() int { return p.History + p.Observed }
 
+// periodCounts returns every pair's Table V cell for one split year,
+// indexed by position in osmap.AllPairs().
+func (s *Study) periodCounts(splitYear int) []PeriodCounts {
+	return s.cached(ckey{q: qPeriods, a: splitYear}, func() any {
+		if s.isParallel() {
+			return s.periodsParallel(splitYear)
+		}
+		out := make([]PeriodCounts, len(s.pairs))
+		for i, p := range s.pairs {
+			out[i] = s.periodSplitSerial(p, splitYear)
+		}
+		return out
+	}).([]PeriodCounts)
+}
+
 // PeriodSplit reproduces one pair's Table V cell: Isolated-Thin-Server
 // overlap split at splitYear (inclusive on the history side).
 func (s *Study) PeriodSplit(p osmap.Pair, splitYear int) PeriodCounts {
+	if i, ok := s.pairIdx[p]; ok {
+		return s.periodCounts(splitYear)[i]
+	}
+	return s.periodSplitSerial(p, splitYear)
+}
+
+func (s *Study) periodSplitSerial(p osmap.Pair, splitYear int) PeriodCounts {
 	both := s.bit[p.A] | s.bit[p.B]
 	var out PeriodCounts
 	for i := range s.records {
@@ -373,6 +553,24 @@ func (s *Study) PeriodSplit(p osmap.Pair, splitYear int) PeriodCounts {
 // TemporalSeries reproduces one curve of Figure 2: valid vulnerabilities
 // per publication year for one distribution.
 func (s *Study) TemporalSeries(d osmap.Distro) map[int]int {
+	idx, ok := s.index[d]
+	if !ok {
+		return s.temporalSerial(d)
+	}
+	v := s.cached(ckey{q: qTemporal, a: idx}, func() any {
+		if s.isParallel() {
+			return s.temporalParallel(d)
+		}
+		return s.temporalSerial(d)
+	}).(map[int]int)
+	out := make(map[int]int, len(v))
+	for k, n := range v {
+		out[k] = n
+	}
+	return out
+}
+
+func (s *Study) temporalSerial(d osmap.Distro) map[int]int {
 	out := make(map[int]int)
 	for i := range s.records {
 		if s.affects(&s.records[i], d) {
@@ -405,16 +603,26 @@ func (s *Study) YearRange() (lo, hi int) {
 // valid vulnerabilities affecting at least k of the 11 distributions
 // under the profile.
 func (s *Study) KWiseClusters(profile Profile) map[int]int {
-	out := make(map[int]int)
-	for i := range s.records {
-		r := &s.records[i]
-		if !r.matches(profile) {
-			continue
+	v := s.cached(ckey{q: qKWiseClusters, profile: profile}, func() any {
+		if s.isParallel() {
+			return s.kwiseClustersParallel(profile)
 		}
-		n := popcount(r.mask)
-		for k := 2; k <= n; k++ {
-			out[k]++
+		out := make(map[int]int)
+		for i := range s.records {
+			r := &s.records[i]
+			if !r.matches(profile) {
+				continue
+			}
+			n := popcount(r.mask)
+			for k := 2; k <= n; k++ {
+				out[k]++
+			}
 		}
+		return out
+	}).(map[int]int)
+	out := make(map[int]int, len(v))
+	for k, n := range v {
+		out[k] = n
 	}
 	return out
 }
@@ -423,15 +631,25 @@ func (s *Study) KWiseClusters(profile Profile) map[int]int {
 // k OS *products* (the granularity of the paper's §IV-B sentences about
 // six- and nine-OS vulnerabilities).
 func (s *Study) KWiseProducts(profile Profile) map[int]int {
-	out := make(map[int]int)
-	for i := range s.records {
-		r := &s.records[i]
-		if !r.matches(profile) {
-			continue
+	v := s.cached(ckey{q: qKWiseProducts, profile: profile}, func() any {
+		if s.isParallel() {
+			return s.kwiseProductsParallel(profile)
 		}
-		for k := 2; k <= r.products; k++ {
-			out[k]++
+		out := make(map[int]int)
+		for i := range s.records {
+			r := &s.records[i]
+			if !r.matches(profile) {
+				continue
+			}
+			for k := 2; k <= r.products; k++ {
+				out[k]++
+			}
 		}
+		return out
+	}).(map[int]int)
+	out := make(map[int]int, len(v))
+	for k, n := range v {
+		out[k] = n
 	}
 	return out
 }

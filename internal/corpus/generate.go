@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"osdiversity/internal/classify"
@@ -59,6 +60,25 @@ type Corpus struct {
 	// mergedReduction tracks progress toward targetReduction across the
 	// specials and all tier decompositions.
 	mergedReduction int
+
+	// workers bounds the spec-rendering pool; 1 renders serially.
+	workers int
+}
+
+// Option configures corpus generation.
+type Option func(*Corpus)
+
+// WithParallelism sets the worker count used to render specs into
+// entries. Rendering is per-spec independent and index-stable, so the
+// generated corpus is identical at any worker count. n <= 0 selects
+// GOMAXPROCS; the default is 1.
+func WithParallelism(n int) Option {
+	return func(c *Corpus) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		c.workers = n
+	}
 }
 
 // targetReduction is Σ (k-1)(k-2)/2 · n_k implied by the paper's own
@@ -70,9 +90,12 @@ type Corpus struct {
 const targetReduction = 181
 
 // Generate builds the calibrated corpus. The construction is
-// deterministic: same output on every call.
-func Generate() (*Corpus, error) {
-	c := &Corpus{}
+// deterministic: same output on every call, at any parallelism.
+func Generate(opts ...Option) (*Corpus, error) {
+	c := &Corpus{workers: 1}
+	for _, opt := range opts {
+		opt(c)
+	}
 
 	specials := c.planSpecials()
 	for _, s := range specials {

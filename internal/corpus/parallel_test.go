@@ -1,0 +1,44 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenerateParallelIdentical verifies that the rendered corpus is
+// byte-identical at any worker count: the shard boundaries must not leak
+// into IDs, dates, summaries, products or CVSS vectors.
+func TestGenerateParallelIdentical(t *testing.T) {
+	serial, err := Generate()
+	if err != nil {
+		t.Fatalf("Generate(): %v", err)
+	}
+	parallel, err := Generate(WithParallelism(4))
+	if err != nil {
+		t.Fatalf("Generate(WithParallelism(4)): %v", err)
+	}
+	if len(serial.Entries) != len(parallel.Entries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(serial.Entries), len(parallel.Entries))
+	}
+	for i := range serial.Entries {
+		if !reflect.DeepEqual(serial.Entries[i], parallel.Entries[i]) {
+			t.Fatalf("entry %d differs:\nserial   %+v\nparallel %+v",
+				i, serial.Entries[i], parallel.Entries[i])
+		}
+	}
+	if !reflect.DeepEqual(serial.Problems, parallel.Problems) {
+		t.Fatalf("problems differ: %v vs %v", serial.Problems, parallel.Problems)
+	}
+}
+
+func TestWithParallelismDefaults(t *testing.T) {
+	c := &Corpus{}
+	WithParallelism(0)(c)
+	if c.workers < 1 {
+		t.Fatalf("workers = %d after WithParallelism(0)", c.workers)
+	}
+	WithParallelism(7)(c)
+	if c.workers != 7 {
+		t.Fatalf("workers = %d after WithParallelism(7)", c.workers)
+	}
+}

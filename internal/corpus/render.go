@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"osdiversity/internal/classify"
@@ -84,13 +85,48 @@ var localVectors = []cvss.Vector{
 	cvss.MustParse("AV:L/AC:L/Au:S/C:P/I:N/A:N"),
 }
 
-// render materializes every spec into a cve.Entry.
+// render materializes every spec into a cve.Entry. With more than one
+// worker the specs render concurrently; each worker writes its own index
+// range, so the output is identical to the serial pass.
 func (c *Corpus) render() error {
 	c.Entries = make([]*cve.Entry, len(c.Specs))
-	for i, s := range c.Specs {
-		e, err := c.renderSpec(s, i)
+	if c.workers <= 1 || len(c.Specs) < 2*c.workers {
+		return c.renderRange(0, len(c.Specs))
+	}
+	workers := c.workers
+	if workers > len(c.Specs) {
+		workers = len(c.Specs)
+	}
+	chunk := (len(c.Specs) + workers - 1) / workers
+	nShards := (len(c.Specs) + chunk - 1) / chunk
+	errs := make([]error, nShards)
+	var wg sync.WaitGroup
+	for i := 0; i < nShards; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(c.Specs) {
+			hi = len(c.Specs)
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			errs[i] = c.renderRange(lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return fmt.Errorf("corpus: spec %d (%v): %w", i, s.Clusters, err)
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Corpus) renderRange(lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		e, err := c.renderSpec(c.Specs[i], i)
+		if err != nil {
+			return fmt.Errorf("corpus: spec %d (%v): %w", i, c.Specs[i].Clusters, err)
 		}
 		c.Entries[i] = e
 	}

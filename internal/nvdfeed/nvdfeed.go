@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"osdiversity/internal/cpe"
@@ -85,6 +87,7 @@ type Reader struct {
 	dec     *xml.Decoder
 	lenient bool
 	skipped int
+	workers int
 	closers []io.Closer
 }
 
@@ -95,6 +98,21 @@ type ReaderOption func(*Reader)
 // counting them instead of failing the stream. The default is strict.
 func Lenient() ReaderOption {
 	return func(r *Reader) { r.lenient = true }
+}
+
+// Workers sets the parallelism of the batch readers (ReadAll, ReadFile,
+// ReadFiles). The XML tokenizer stays sequential per file, but entry
+// conversion (CPE parsing, datetime parsing, CVSS mapping) fans out to
+// the worker pool, and ReadFiles additionally decodes whole files
+// concurrently. Entry order is preserved exactly. n <= 0 selects
+// GOMAXPROCS; the default is 1. The streaming Next path ignores this.
+func Workers(n int) ReaderOption {
+	return func(r *Reader) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		r.workers = n
+	}
 }
 
 // NewReader wraps an XML stream.
@@ -180,8 +198,13 @@ func (r *Reader) Next() (*cve.Entry, error) {
 	}
 }
 
-// ReadAll drains the reader into a slice.
+// ReadAll drains the reader into a slice. With Workers(n > 1) the
+// structural XML decode stays sequential while the per-entry conversion
+// runs on the worker pool; results keep feed order.
 func (r *Reader) ReadAll() ([]*cve.Entry, error) {
+	if r.workers > 1 {
+		return r.readAllParallel()
+	}
 	var out []*cve.Entry
 	for {
 		e, err := r.Next()
@@ -195,6 +218,78 @@ func (r *Reader) ReadAll() ([]*cve.Entry, error) {
 	}
 }
 
+// readAllParallel is the two-stage decode pipeline: stage one walks the
+// token stream collecting raw entry elements, stage two converts them to
+// cve.Entry values concurrently, writing each result to its input index
+// so order is deterministic.
+func (r *Reader) readAllParallel() ([]*cve.Entry, error) {
+	var raws []xmlEntry
+	for {
+		tok, err := r.dec.Token()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("nvdfeed: token: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok || start.Name.Local != "entry" {
+			continue
+		}
+		var raw xmlEntry
+		if err := r.dec.DecodeElement(&raw, &start); err != nil {
+			if r.lenient {
+				r.skipped++
+				continue
+			}
+			return nil, fmt.Errorf("nvdfeed: decode entry: %w", err)
+		}
+		raws = append(raws, raw)
+	}
+
+	entries := make([]*cve.Entry, len(raws))
+	errs := make([]error, len(raws))
+	workers := r.workers
+	if workers > len(raws) {
+		workers = len(raws)
+	}
+	if workers > 1 {
+		chunk := (len(raws) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < len(raws); lo += chunk {
+			hi := lo + chunk
+			if hi > len(raws) {
+				hi = len(raws)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					entries[i], errs[i] = raws[i].toEntry()
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i := range raws {
+			entries[i], errs[i] = raws[i].toEntry()
+		}
+	}
+
+	out := make([]*cve.Entry, 0, len(entries))
+	for i := range entries {
+		if errs[i] != nil {
+			if r.lenient {
+				r.skipped++
+				continue
+			}
+			return nil, errs[i]
+		}
+		out = append(out, entries[i])
+	}
+	return out, nil
+}
+
 // ReadFile parses a whole feed file.
 func ReadFile(path string, opts ...ReaderOption) ([]*cve.Entry, error) {
 	r, err := OpenFile(path, opts...)
@@ -203,6 +298,52 @@ func ReadFile(path string, opts ...ReaderOption) ([]*cve.Entry, error) {
 	}
 	defer r.Close()
 	return r.ReadAll()
+}
+
+// ReadFiles parses several feed files, concatenating the entries in path
+// order. With Workers(n > 1) up to n files decode concurrently (each
+// also running the two-stage entry pipeline), which is the ingestion
+// fast path for per-year feed directories.
+func ReadFiles(paths []string, opts ...ReaderOption) ([]*cve.Entry, error) {
+	probe := NewReader(nil, opts...)
+	if probe.workers <= 1 || len(paths) == 1 {
+		var out []*cve.Entry
+		for _, path := range paths {
+			es, err := ReadFile(path, opts...)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, es...)
+		}
+		return out, nil
+	}
+
+	// With many files the cross-file fan-out already saturates the pool;
+	// forcing each file back to the streaming decoder avoids stacking the
+	// within-file pipeline on top of it.
+	perFileOpts := append(append([]ReaderOption(nil), opts...), Workers(1))
+	perFile := make([][]*cve.Entry, len(paths))
+	errs := make([]error, len(paths))
+	sem := make(chan struct{}, probe.workers)
+	var wg sync.WaitGroup
+	for i, path := range paths {
+		wg.Add(1)
+		go func(i int, path string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perFile[i], errs[i] = ReadFile(path, perFileOpts...)
+		}(i, path)
+	}
+	wg.Wait()
+	var out []*cve.Entry
+	for i := range paths {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, perFile[i]...)
+	}
+	return out, nil
 }
 
 func (raw *xmlEntry) toEntry() (*cve.Entry, error) {

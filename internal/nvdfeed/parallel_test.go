@@ -1,0 +1,116 @@
+package nvdfeed
+
+import (
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"osdiversity/internal/corpus"
+	"osdiversity/internal/cve"
+)
+
+// writeCorpusFeeds renders the calibrated corpus into per-year feed
+// files and returns the paths in year order.
+func writeCorpusFeeds(t *testing.T) ([]string, []*cve.Entry) {
+	t.Helper()
+	c, err := corpus.Generate()
+	if err != nil {
+		t.Fatalf("corpus.Generate: %v", err)
+	}
+	byYear := make(map[int][]*cve.Entry)
+	for _, e := range c.Entries {
+		byYear[e.Year()] = append(byYear[e.Year()], e)
+	}
+	var years []int
+	for y := range byYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	dir := t.TempDir()
+	var paths []string
+	var want []*cve.Entry
+	for _, y := range years {
+		entries := byYear[y]
+		cve.SortEntries(entries)
+		path := filepath.Join(dir, "nvdcve-2.0-"+strconv.Itoa(y)+".xml.gz")
+		if err := WriteFile(path, "CVE-"+strconv.Itoa(y), entries); err != nil {
+			t.Fatalf("WriteFile(%d): %v", y, err)
+		}
+		paths = append(paths, path)
+		want = append(want, entries...)
+	}
+	return paths, want
+}
+
+// TestReadFilesParallelIdentical verifies the decode pipeline returns
+// the same entries in the same order at every parallelism level.
+func TestReadFilesParallelIdentical(t *testing.T) {
+	paths, want := writeCorpusFeeds(t)
+
+	serial, err := ReadFiles(paths)
+	if err != nil {
+		t.Fatalf("ReadFiles serial: %v", err)
+	}
+	parallel, err := ReadFiles(paths, Workers(4))
+	if err != nil {
+		t.Fatalf("ReadFiles parallel: %v", err)
+	}
+	if len(serial) != len(want) || len(parallel) != len(want) {
+		t.Fatalf("lengths: serial %d, parallel %d, want %d", len(serial), len(parallel), len(want))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("entry %d differs between serial and parallel decode", i)
+		}
+	}
+}
+
+// TestReadFileParallelWithinFile exercises the two-stage pipeline inside
+// one file.
+func TestReadFileParallelWithinFile(t *testing.T) {
+	paths, _ := writeCorpusFeeds(t)
+	serial, err := ReadFile(paths[len(paths)-1])
+	if err != nil {
+		t.Fatalf("ReadFile serial: %v", err)
+	}
+	parallel, err := ReadFile(paths[len(paths)-1], Workers(4))
+	if err != nil {
+		t.Fatalf("ReadFile parallel: %v", err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("single-file parallel decode differs from serial")
+	}
+}
+
+// TestReadAllParallelLenient checks that the parallel pipeline still
+// counts skipped entries in lenient mode.
+func TestReadAllParallelLenient(t *testing.T) {
+	feed := `<?xml version="1.0"?>
+<nvd xmlns="http://scap.nist.gov/schema/feed/vulnerability/2.0"
+     xmlns:vuln="http://scap.nist.gov/schema/vulnerability/0.4">
+  <entry id="CVE-2001-0001">
+    <vuln:cve-id>CVE-2001-0001</vuln:cve-id>
+    <vuln:published-datetime>2001-02-01T12:00:00.000-00:00</vuln:published-datetime>
+    <vuln:summary>Buffer overflow in the kernel.</vuln:summary>
+  </entry>
+  <entry id="not-a-cve">
+    <vuln:cve-id>not-a-cve</vuln:cve-id>
+    <vuln:published-datetime>2001-02-01T12:00:00.000-00:00</vuln:published-datetime>
+    <vuln:summary>Broken identifier.</vuln:summary>
+  </entry>
+</nvd>`
+	r := NewReader(strings.NewReader(feed), Lenient(), Workers(4))
+	entries, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(entries) != 1 || entries[0].ID.String() != "CVE-2001-0001" {
+		t.Fatalf("entries = %v", entries)
+	}
+	if r.Skipped() != 1 {
+		t.Fatalf("Skipped() = %d, want 1", r.Skipped())
+	}
+}

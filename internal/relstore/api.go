@@ -27,6 +27,44 @@ func InsertRow(db *DB, tableName string, columns []string, values []Value) error
 	return t.insert(row)
 }
 
+// InsertRows inserts many rows sharing one column layout under a single
+// lock acquisition and table lookup — the batch half of the feed
+// ingestion pipeline. Rows are inserted in slice order; on error the
+// rows before the failing one remain inserted, like repeated InsertRow
+// calls would leave them.
+func InsertRows(db *DB, tableName string, columns []string, rows [][]Value) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("relstore: no table %q", tableName)
+	}
+	colIdx := make([]int, len(columns))
+	for i, col := range columns {
+		ci, ok := t.colIdx[col]
+		if !ok {
+			return fmt.Errorf("relstore: table %s has no column %q", tableName, col)
+		}
+		colIdx[i] = ci
+	}
+	for _, values := range rows {
+		if len(values) != len(columns) {
+			return fmt.Errorf("relstore: InsertRows: %d columns, %d values", len(columns), len(values))
+		}
+		row := make([]Value, len(t.cols))
+		for i, ci := range colIdx {
+			row[ci] = values[i]
+		}
+		if err := t.insert(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ScanTable streams every row of a table to fn in insertion order,
 // stopping early if fn returns false. The row slice is shared; fn must
 // not retain or mutate it.

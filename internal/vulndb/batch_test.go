@@ -1,0 +1,105 @@
+package vulndb
+
+import (
+	"reflect"
+	"testing"
+
+	"osdiversity/internal/classify"
+	"osdiversity/internal/corpus"
+	"osdiversity/internal/relstore"
+)
+
+// TestLoadEntriesParallelIdenticalDB loads the full corpus through the
+// serial per-row path and the parallel batched pipeline and compares
+// every table row: the pipelined database must be indistinguishable.
+func TestLoadEntriesParallelIdenticalDB(t *testing.T) {
+	c, err := corpus.Generate()
+	if err != nil {
+		t.Fatalf("corpus.Generate: %v", err)
+	}
+	classifier := classify.NewClassifier()
+
+	serial, err := Create()
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	sStored, sSkipped, err := serial.LoadEntries(c.Entries, classifier)
+	if err != nil {
+		t.Fatalf("LoadEntries: %v", err)
+	}
+
+	parallel, err := Create()
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	pStored, pSkipped, err := parallel.LoadEntriesParallel(c.Entries, classifier, 4)
+	if err != nil {
+		t.Fatalf("LoadEntriesParallel: %v", err)
+	}
+
+	if sStored != pStored || sSkipped != pSkipped {
+		t.Fatalf("counts differ: serial %d/%d, parallel %d/%d", sStored, sSkipped, pStored, pSkipped)
+	}
+	for _, table := range []string{
+		"vulnerability", "vulnerability_type", "security_protection",
+		"cvss", "product", "os_vuln", "vuln_product",
+	} {
+		var sRows, pRows [][]relstore.Value
+		if err := relstore.ScanTable(serial.Store(), table, func(row []relstore.Value) bool {
+			sRows = append(sRows, append([]relstore.Value(nil), row...))
+			return true
+		}); err != nil {
+			t.Fatalf("scan serial %s: %v", table, err)
+		}
+		if err := relstore.ScanTable(parallel.Store(), table, func(row []relstore.Value) bool {
+			pRows = append(pRows, append([]relstore.Value(nil), row...))
+			return true
+		}); err != nil {
+			t.Fatalf("scan parallel %s: %v", table, err)
+		}
+		if len(sRows) != len(pRows) {
+			t.Fatalf("table %s: %d rows serial, %d parallel", table, len(sRows), len(pRows))
+		}
+		for i := range sRows {
+			if !reflect.DeepEqual(sRows[i], pRows[i]) {
+				t.Fatalf("table %s row %d differs:\nserial   %v\nparallel %v",
+					table, i, sRows[i], pRows[i])
+			}
+		}
+	}
+
+	sEntries, err := serial.Entries()
+	if err != nil {
+		t.Fatalf("serial Entries: %v", err)
+	}
+	pEntries, err := parallel.Entries()
+	if err != nil {
+		t.Fatalf("parallel Entries: %v", err)
+	}
+	if !reflect.DeepEqual(sEntries, pEntries) {
+		t.Fatal("reconstructed entries differ between serial and parallel load")
+	}
+}
+
+// TestInsertRowsValidation covers the batch API's error paths.
+func TestInsertRowsValidation(t *testing.T) {
+	db, err := Create()
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := relstore.InsertRows(db.Store(), "no_such_table", []string{"x"},
+		[][]relstore.Value{{relstore.Int(1)}}); err == nil {
+		t.Error("InsertRows accepted a missing table")
+	}
+	if err := relstore.InsertRows(db.Store(), "product", []string{"nope"},
+		[][]relstore.Value{{relstore.Int(1)}}); err == nil {
+		t.Error("InsertRows accepted a missing column")
+	}
+	if err := relstore.InsertRows(db.Store(), "product", []string{"id", "part"},
+		[][]relstore.Value{{relstore.Int(1)}}); err == nil {
+		t.Error("InsertRows accepted a short row")
+	}
+	if err := relstore.InsertRows(db.Store(), "product", nil, nil); err != nil {
+		t.Errorf("InsertRows empty batch: %v", err)
+	}
+}

@@ -8,7 +8,7 @@
 // plain Go types:
 //
 //	feeds, _ := osdiversity.GenerateFeeds("feeds/")   // synthetic NVD
-//	a, _ := osdiversity.LoadFeeds(feeds...)           // parse + analyze
+//	a, _ := osdiversity.LoadFeeds(feeds)              // parse + analyze
 //	for _, row := range a.PairwiseOverlaps() {        // paper Table III
 //	    fmt.Println(row.A, row.B, row.All, row.NoApp, row.Remote)
 //	}
@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"sync"
 
 	"osdiversity/internal/attack"
 	"osdiversity/internal/classify"
@@ -33,6 +35,34 @@ import (
 	"osdiversity/internal/osmap"
 	"osdiversity/internal/vulndb"
 )
+
+// Option configures feed generation, loading and analysis.
+type Option func(*config)
+
+type config struct {
+	workers int
+}
+
+// WithParallelism sets the worker count used throughout the pipeline:
+// corpus rendering, feed decoding, database ingestion and the sharded
+// table queries. n <= 0 selects GOMAXPROCS; the default (no option) is
+// the serial reference path.
+func WithParallelism(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		c.workers = n
+	}
+}
+
+func newConfig(opts []Option) config {
+	c := config{workers: 1}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return c
+}
 
 // OSNames returns the 11 distribution names of the study, in the paper's
 // presentation order.
@@ -56,9 +86,12 @@ func FamilyOf(osName string) (string, error) {
 
 // GenerateFeeds writes the calibrated synthetic NVD data feeds (one
 // gzip-compressed XML file per publication year, like NVD distributes
-// them) into dir and returns the file paths.
-func GenerateFeeds(dir string) ([]string, error) {
-	c, err := corpus.Generate()
+// them) into dir and returns the file paths. With WithParallelism the
+// corpus renders on a worker pool and the per-year files are written
+// concurrently.
+func GenerateFeeds(dir string, opts ...Option) ([]string, error) {
+	cfg := newConfig(opts)
+	c, err := corpus.Generate(corpus.WithParallelism(cfg.workers))
 	if err != nil {
 		return nil, err
 	}
@@ -74,15 +107,27 @@ func GenerateFeeds(dir string) ([]string, error) {
 		years = append(years, y)
 	}
 	sort.Ints(years)
-	var paths []string
-	for _, y := range years {
+	paths := make([]string, len(years))
+	errs := make([]error, len(years))
+	sem := make(chan struct{}, cfg.workers)
+	var wg sync.WaitGroup
+	for i, y := range years {
 		entries := byYear[y]
 		cve.SortEntries(entries)
-		path := filepath.Join(dir, fmt.Sprintf("nvdcve-2.0-%d.xml.gz", y))
-		if err := nvdfeed.WriteFile(path, fmt.Sprintf("CVE-%d", y), entries); err != nil {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("nvdcve-2.0-%d.xml.gz", y))
+		wg.Add(1)
+		go func(i, y int, entries []*cve.Entry) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = nvdfeed.WriteFile(paths[i], fmt.Sprintf("CVE-%d", y), entries)
+		}(i, y, entries)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
-		paths = append(paths, path)
 	}
 	return paths, nil
 }
@@ -93,49 +138,45 @@ type Analysis struct {
 }
 
 // LoadFeeds parses NVD XML feed files (plain or .gz) and builds the
-// analysis.
-func LoadFeeds(paths ...string) (*Analysis, error) {
-	var entries []*cve.Entry
-	for _, path := range paths {
-		es, err := nvdfeed.ReadFile(path)
-		if err != nil {
-			return nil, err
-		}
-		entries = append(entries, es...)
+// analysis. With WithParallelism files decode concurrently and the
+// analysis queries run on the sharded engine.
+func LoadFeeds(paths []string, opts ...Option) (*Analysis, error) {
+	cfg := newConfig(opts)
+	entries, err := nvdfeed.ReadFiles(paths, nvdfeed.Workers(cfg.workers))
+	if err != nil {
+		return nil, err
 	}
-	return &Analysis{study: core.NewStudy(entries)}, nil
+	return &Analysis{study: core.NewStudy(entries, core.WithParallelism(cfg.workers))}, nil
 }
 
 // LoadCalibrated builds the analysis directly over the calibrated
 // synthetic corpus, skipping the XML round trip.
-func LoadCalibrated() (*Analysis, error) {
-	c, err := corpus.Generate()
+func LoadCalibrated(opts ...Option) (*Analysis, error) {
+	cfg := newConfig(opts)
+	c, err := corpus.Generate(corpus.WithParallelism(cfg.workers))
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{study: core.NewStudy(c.Entries)}, nil
+	return &Analysis{study: core.NewStudy(c.Entries, core.WithParallelism(cfg.workers))}, nil
 }
 
 // ImportFeeds parses feeds into the paper's SQL schema and persists the
-// database at dbPath. Returns (stored, skipped).
-func ImportFeeds(dbPath string, feedPaths ...string) (int, int, error) {
+// database at dbPath. Returns (stored, skipped). With WithParallelism
+// the feeds decode concurrently and the entries reach the store through
+// the parallel-digest, batched-insert pipeline.
+func ImportFeeds(dbPath string, feedPaths []string, opts ...Option) (int, int, error) {
+	cfg := newConfig(opts)
 	db, err := vulndb.Create()
 	if err != nil {
 		return 0, 0, err
 	}
-	classifier := classify.NewClassifier()
-	stored, skipped := 0, 0
-	for _, path := range feedPaths {
-		entries, err := nvdfeed.ReadFile(path)
-		if err != nil {
-			return stored, skipped, err
-		}
-		st, sk, err := db.LoadEntries(entries, classifier)
-		if err != nil {
-			return stored, skipped, err
-		}
-		stored += st
-		skipped += sk
+	entries, err := nvdfeed.ReadFiles(feedPaths, nvdfeed.Workers(cfg.workers))
+	if err != nil {
+		return 0, 0, err
+	}
+	stored, skipped, err := db.LoadEntriesParallel(entries, classify.NewClassifier(), cfg.workers)
+	if err != nil {
+		return stored, skipped, err
 	}
 	if err := db.Save(dbPath); err != nil {
 		return stored, skipped, err
@@ -145,7 +186,8 @@ func ImportFeeds(dbPath string, feedPaths ...string) (int, int, error) {
 
 // LoadDatabase builds the analysis from a database produced by
 // ImportFeeds.
-func LoadDatabase(dbPath string) (*Analysis, error) {
+func LoadDatabase(dbPath string, opts ...Option) (*Analysis, error) {
+	cfg := newConfig(opts)
 	db, err := vulndb.Open(dbPath)
 	if err != nil {
 		return nil, err
@@ -154,7 +196,7 @@ func LoadDatabase(dbPath string) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{study: core.NewStudy(entries)}, nil
+	return &Analysis{study: core.NewStudy(entries, core.WithParallelism(cfg.workers))}, nil
 }
 
 // ValidCount returns the number of distinct valid vulnerabilities.

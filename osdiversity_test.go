@@ -42,7 +42,7 @@ func TestEndToEndFeedsAndDatabase(t *testing.T) {
 	if len(feeds) < 14 {
 		t.Fatalf("generated %d feed files, expected one per year", len(feeds))
 	}
-	fromFeeds, err := LoadFeeds(feeds...)
+	fromFeeds, err := LoadFeeds(feeds)
 	if err != nil {
 		t.Fatalf("LoadFeeds: %v", err)
 	}
@@ -51,7 +51,7 @@ func TestEndToEndFeedsAndDatabase(t *testing.T) {
 	}
 
 	dbPath := filepath.Join(dir, "study.db")
-	stored, skipped, err := ImportFeeds(dbPath, feeds...)
+	stored, skipped, err := ImportFeeds(dbPath, feeds)
 	if err != nil {
 		t.Fatalf("ImportFeeds: %v", err)
 	}
