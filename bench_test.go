@@ -27,6 +27,7 @@ import (
 var (
 	benchStudy         *core.Study
 	benchStudyParallel *core.Study
+	benchStudyBitset   *core.Study
 )
 
 func studyForBench(b *testing.B) *core.Study {
@@ -36,7 +37,8 @@ func studyForBench(b *testing.B) *core.Study {
 		if err != nil {
 			b.Fatalf("corpus.Generate: %v", err)
 		}
-		benchStudy = core.NewStudy(c.Entries)
+		// The serial scan reference (the seed's algorithms).
+		benchStudy = core.NewStudy(c.Entries, core.WithEngine(core.EngineScan))
 	}
 	return benchStudy
 }
@@ -52,9 +54,22 @@ func studyForBenchParallel(b *testing.B) *core.Study {
 		if err != nil {
 			b.Fatalf("corpus.Generate: %v", err)
 		}
-		benchStudyParallel = core.NewStudy(c.Entries, core.WithParallelism(benchWorkers))
+		benchStudyParallel = core.NewStudy(c.Entries,
+			core.WithEngine(core.EngineScan), core.WithParallelism(benchWorkers))
 	}
 	return benchStudyParallel
+}
+
+func studyForBenchBitset(b *testing.B) *core.Study {
+	b.Helper()
+	if benchStudyBitset == nil {
+		c, err := corpus.Generate()
+		if err != nil {
+			b.Fatalf("corpus.Generate: %v", err)
+		}
+		benchStudyBitset = core.NewStudy(c.Entries, core.WithParallelism(benchWorkers))
+	}
+	return benchStudyBitset
 }
 
 // BenchmarkTable1Distribution regenerates Table I (E1).
@@ -358,6 +373,220 @@ func BenchmarkSelectionUncached(b *testing.B) {
 		ranked := s.RankReplicaSets(osmap.HistoryEligible(), 4, core.OnePerFamily, window)
 		if len(ranked) != 12 || ranked[0].Cost != 10 {
 			b.Fatalf("selection mismatch: best cost %d", ranked[0].Cost)
+		}
+	}
+}
+
+// BenchmarkTable1DistributionBitset regenerates Table I from scratch on
+// the columnar bitset engine every iteration.
+func BenchmarkTable1DistributionBitset(b *testing.B) {
+	s := studyForBenchBitset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearCache()
+		_, distinct := s.ValidityTable()
+		if distinct.Valid != paperdata.DistinctValid {
+			b.Fatalf("Table I mismatch: %d distinct", distinct.Valid)
+		}
+	}
+}
+
+// BenchmarkTable3PairwiseBitset regenerates the Fat-Server pair column
+// on the bitset engine.
+func BenchmarkTable3PairwiseBitset(b *testing.B) {
+	s := studyForBenchBitset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearCache()
+		m := s.PairMatrix(core.FatServer)
+		for p, n := range m {
+			if n != paperdata.PairTable[p].All {
+				b.Fatalf("Table III mismatch at %v", p)
+			}
+		}
+	}
+}
+
+// BenchmarkKWiseBitset regenerates the k-wise product counts on the
+// bitset engine.
+func BenchmarkKWiseBitset(b *testing.B) {
+	s := studyForBenchBitset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearCache()
+		kwise := s.KWiseProducts(core.FatServer)
+		if kwise[6] != paperdata.KWiseProducts[6] {
+			b.Fatalf("k-wise mismatch: %d", kwise[6])
+		}
+	}
+}
+
+// --- 100k-entry synthetic "modern NVD" benchmarks ------------------------
+//
+// The acceptance workload of the bitset engine: a seeded 100k-entry,
+// 32-distro corpus at production volume. The *Scan variants run the
+// PR-1 sharded record walks at benchWorkers workers; the *Bitset
+// variants run the columnar engine at the same worker count. Both
+// recompute from scratch every iteration (memo cache cleared).
+
+const (
+	synthBenchEntries = 100_000
+	synthBenchDistros = 32
+	synthBenchSeed    = 1
+)
+
+var (
+	synthStudyScan   *core.Study
+	synthStudyBitset *core.Study
+)
+
+func synthStudies(b *testing.B) (scan, bitset *core.Study) {
+	b.Helper()
+	if synthStudyScan == nil {
+		sc, err := corpus.GenerateSynthetic(corpus.SyntheticConfig{
+			Entries: synthBenchEntries, Distros: synthBenchDistros,
+			Seed: synthBenchSeed, Workers: benchWorkers,
+		})
+		if err != nil {
+			b.Fatalf("GenerateSynthetic: %v", err)
+		}
+		synthStudyScan = core.NewStudy(sc.Entries, core.WithRegistry(sc.Registry),
+			core.WithEngine(core.EngineScan), core.WithParallelism(benchWorkers))
+		synthStudyBitset = core.NewStudy(sc.Entries, core.WithRegistry(sc.Registry),
+			core.WithParallelism(benchWorkers))
+		if synthStudyScan.ValidEntries() != synthStudyBitset.ValidEntries() {
+			b.Fatal("synthetic studies disagree on valid entries")
+		}
+	}
+	return synthStudyScan, synthStudyBitset
+}
+
+// benchmarkPairs100k regenerates every cell of the modern Table III —
+// the per-distro totals and the pairwise overlaps, all three profiles —
+// from scratch each iteration.
+func benchmarkPairs100k(b *testing.B, s *core.Study) {
+	b.Helper()
+	ds := s.Distros()
+	profiles := core.Profiles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearCache()
+		total := 0
+		for _, profile := range profiles {
+			for _, d := range ds {
+				total += s.Total(d, profile)
+			}
+			for _, n := range s.PairMatrix(profile) {
+				total += n
+			}
+		}
+		if total == 0 {
+			b.Fatal("empty Table III")
+		}
+	}
+}
+
+// BenchmarkTable3PairwiseOverlap100kScan regenerates all three profile
+// pair matrices over the 100k corpus on the sharded scan engine.
+func BenchmarkTable3PairwiseOverlap100kScan(b *testing.B) {
+	scan, _ := synthStudies(b)
+	benchmarkPairs100k(b, scan)
+}
+
+// BenchmarkTable3PairwiseOverlap100kBitset is the same workload on the
+// columnar bitset engine.
+func BenchmarkTable3PairwiseOverlap100kBitset(b *testing.B) {
+	_, bitset := synthStudies(b)
+	benchmarkPairs100k(b, bitset)
+}
+
+func benchmarkKWise100k(b *testing.B, s *core.Study) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearCache()
+		products := s.KWiseProducts(core.FatServer)
+		clusters := s.KWiseClusters(core.IsolatedThinServer)
+		if products[2] == 0 || clusters[2] == 0 {
+			b.Fatal("empty k-wise counts")
+		}
+	}
+}
+
+// BenchmarkKWise100kScan regenerates the k-wise product and cluster
+// counts over the 100k corpus on the sharded scan engine.
+func BenchmarkKWise100kScan(b *testing.B) {
+	scan, _ := synthStudies(b)
+	benchmarkKWise100k(b, scan)
+}
+
+// BenchmarkKWise100kBitset is the same workload on the bitset engine.
+func BenchmarkKWise100kBitset(b *testing.B) {
+	_, bitset := synthStudies(b)
+	benchmarkKWise100k(b, bitset)
+}
+
+func benchmarkTotals100k(b *testing.B, s *core.Study) {
+	b.Helper()
+	ds := s.Distros()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearCache()
+		total := 0
+		for _, profile := range core.Profiles() {
+			for _, d := range ds {
+				total += s.Total(d, profile)
+			}
+		}
+		if total == 0 {
+			b.Fatal("empty totals")
+		}
+	}
+}
+
+// BenchmarkTotals100kScan regenerates every per-distro total (3 profiles
+// x 32 distros) on the sharded scan engine.
+func BenchmarkTotals100kScan(b *testing.B) {
+	scan, _ := synthStudies(b)
+	benchmarkTotals100k(b, scan)
+}
+
+// BenchmarkTotals100kBitset is the same workload on the bitset engine.
+func BenchmarkTotals100kBitset(b *testing.B) {
+	_, bitset := synthStudies(b)
+	benchmarkTotals100k(b, bitset)
+}
+
+// BenchmarkSyntheticGeneration measures the seeded 100k-corpus
+// generator itself (rendering on the worker pool).
+func BenchmarkSyntheticGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc, err := corpus.GenerateSynthetic(corpus.SyntheticConfig{
+			Entries: synthBenchEntries, Distros: synthBenchDistros,
+			Seed: synthBenchSeed, Workers: benchWorkers,
+		})
+		if err != nil || len(sc.Entries) != synthBenchEntries {
+			b.Fatalf("generate: %v, %d entries", err, len(sc.Entries))
+		}
+	}
+}
+
+// BenchmarkSyntheticStudyConstruction measures ingesting the 100k
+// corpus into a Study (digest + year sort) at benchWorkers workers.
+func BenchmarkSyntheticStudyConstruction(b *testing.B) {
+	sc, err := corpus.GenerateSynthetic(corpus.SyntheticConfig{
+		Entries: synthBenchEntries, Distros: synthBenchDistros,
+		Seed: synthBenchSeed, Workers: benchWorkers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := core.NewStudy(sc.Entries, core.WithRegistry(sc.Registry),
+			core.WithParallelism(benchWorkers))
+		if s.ValidEntries() == 0 {
+			b.Fatal("no valid entries")
 		}
 	}
 }

@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` output into a compact
+// JSON summary so the repository's performance trajectory is tracked
+// across PRs (the CI benchmark step writes BENCH_core.json with it).
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchtime=1x . | benchjson -out BENCH_core.json
+//
+// For every benchmark name ending in "Scan" with a "Bitset" sibling
+// (e.g. BenchmarkKWise100kScan / BenchmarkKWise100kBitset) the summary
+// also records the scan-over-bitset speedup factor.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// summary is the BENCH_core.json document.
+type summary struct {
+	// Note says how to regenerate the file.
+	Note string `json:"note"`
+	// NsPerOp maps benchmark name (CPU suffix stripped) to ns/op. When
+	// a benchmark appears several times (-count > 1), the median wins.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// Speedups maps "<Name>" to scan/bitset ns ratios for benchmark
+	// pairs named <Name>Scan / <Name>Bitset.
+	Speedups map[string]float64 `json:"speedup_scan_over_bitset"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "BENCH_core.json", "output JSON path (- for stdout)")
+	flag.Parse()
+
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Pass through on stderr so the CI log keeps the raw table and
+		// `-out -` still emits clean JSON on stdout.
+		fmt.Fprintln(os.Stderr, line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		samples[m[1]] = append(samples[m[1]], ns)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(samples) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+
+	doc := summary{
+		Note:     "ns/op per benchmark; regenerate with: go test -run xxx -bench . -benchtime=1x . | go run ./cmd/benchjson",
+		NsPerOp:  make(map[string]float64, len(samples)),
+		Speedups: make(map[string]float64),
+	}
+	for name, ns := range samples {
+		sort.Float64s(ns)
+		doc.NsPerOp[name] = ns[len(ns)/2]
+	}
+	for name, ns := range doc.NsPerOp {
+		base, ok := strings.CutSuffix(name, "Scan")
+		if !ok {
+			continue
+		}
+		bitset, ok := doc.NsPerOp[base+"Bitset"]
+		if !ok || bitset == 0 {
+			continue
+		}
+		doc.Speedups[base] = round2(ns / bitset)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks, %d speedups)\n", *out, len(doc.NsPerOp), len(doc.Speedups))
+}
+
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }

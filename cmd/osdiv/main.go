@@ -36,12 +36,19 @@ func main() {
 	db := flag.String("db", "", "analyze a database produced by nvdimport")
 	feeds := flag.String("feeds", "", "analyze XML feeds from this directory")
 	workers := flag.Int("workers", 1, "worker count for ingestion and analysis (0 = all CPUs)")
+	engine := flag.String("engine", "bitset", "analysis engine: bitset (columnar index) or scan (record walk)")
+	synthetic := flag.Int("synthetic", 0, "analyze a seeded synthetic modern-NVD corpus of this many entries")
+	distros := flag.Int("distros", 32, "synthetic universe width (with -synthetic)")
+	seed := flag.Uint64("seed", 1, "synthetic corpus seed (with -synthetic)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 	}
 
-	a, err := loadAnalysis(*db, *feeds, *workers)
+	a, err := loadAnalysis(loadConfig{
+		db: *db, feeds: *feeds, workers: *workers, engine: *engine,
+		synthetic: *synthetic, distros: *distros, seed: *seed,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,23 +76,44 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir] [-workers n] tables|figures|kwise|select|releases|simulate [options]")
+	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir | -synthetic n] [-workers n] [-engine bitset|scan] tables|figures|kwise|select|releases|simulate [options]")
 	os.Exit(2)
 }
 
-func loadAnalysis(db, feeds string, workers int) (*osdiversity.Analysis, error) {
-	opt := osdiversity.WithParallelism(workers)
-	switch {
-	case db != "":
-		return osdiversity.LoadDatabase(db, opt)
-	case feeds != "":
-		matches, err := filepath.Glob(filepath.Join(feeds, "*.xml*"))
-		if err != nil || len(matches) == 0 {
-			return nil, fmt.Errorf("no feeds found in %s", feeds)
-		}
-		return osdiversity.LoadFeeds(matches, opt)
+type loadConfig struct {
+	db        string
+	feeds     string
+	workers   int
+	engine    string
+	synthetic int
+	distros   int
+	seed      uint64
+}
+
+func loadAnalysis(cfg loadConfig) (*osdiversity.Analysis, error) {
+	opts := []osdiversity.Option{osdiversity.WithParallelism(cfg.workers)}
+	switch cfg.engine {
+	case "bitset", "":
+	case "scan":
+		opts = append(opts, osdiversity.WithEngine(osdiversity.EngineScan))
 	default:
-		return osdiversity.LoadCalibrated(opt)
+		return nil, fmt.Errorf("unknown engine %q (want bitset or scan)", cfg.engine)
+	}
+	switch {
+	case cfg.synthetic > 0:
+		return osdiversity.LoadSynthetic(osdiversity.SyntheticSpec{
+			Entries: cfg.synthetic, Distros: cfg.distros, Seed: cfg.seed,
+		}, opts...)
+	case cfg.db != "":
+		return osdiversity.LoadDatabase(cfg.db, opts...)
+	case cfg.feeds != "":
+		matches, err := filepath.Glob(filepath.Join(cfg.feeds, "*.xml*"))
+		if err != nil || len(matches) == 0 {
+			return nil, fmt.Errorf("no feeds found in %s", cfg.feeds)
+		}
+		return osdiversity.LoadFeeds(matches, opts...)
+	default:
+		return osdiversity.LoadCalibrated(opts...)
 	}
 }
 

@@ -27,7 +27,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"osdiversity/internal/bft"
 	"osdiversity/internal/core"
@@ -40,13 +42,82 @@ type Model struct {
 	// MeanEffort is the expected exploit-development effort per
 	// vulnerability in abstract time units (default 1.0).
 	MeanEffort float64
+	// workers bounds the Monte Carlo trial pool (1 = serial).
+	workers int
+	// byOSOnce/byOSIdx memoize the per-distro vulnerability lists (the
+	// population is immutable, so every trial shares them).
+	byOSOnce sync.Once
+	byOSIdx  map[osmap.Distro][]core.VulnRef
+}
+
+// byOS returns the per-distro vulnerability lists, built once.
+func (m *Model) byOS() map[osmap.Distro][]core.VulnRef {
+	m.byOSOnce.Do(func() {
+		m.byOSIdx = make(map[osmap.Distro][]core.VulnRef)
+		for _, v := range m.vulns {
+			for _, d := range v.Distros {
+				m.byOSIdx[d] = append(m.byOSIdx[d], v)
+			}
+		}
+	})
+	return m.byOSIdx
 }
 
 // NewModel extracts the vulnerability population from a study under a
 // profile (the Isolated Thin Server profile matches the paper's
 // hardened-replica assumption).
 func NewModel(study *core.Study, profile core.Profile) *Model {
-	return &Model{vulns: study.Vulnerabilities(profile), MeanEffort: 1.0}
+	return &Model{vulns: study.Vulnerabilities(profile), MeanEffort: 1.0, workers: 1}
+}
+
+// SetParallelism sets the worker count for Monte Carlo batches
+// (MonteCarlo, Gain, SurvivalRate). Every trial draws from its own
+// seeded RNG stream, so results are identical at any worker count.
+// n <= 0 selects GOMAXPROCS.
+func (m *Model) SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	m.workers = n
+}
+
+// Parallelism reports the effective trial worker count.
+func (m *Model) Parallelism() int {
+	if m.workers > 1 {
+		return m.workers
+	}
+	return 1
+}
+
+// runTrials executes body(t) for t in [0, trials) across the worker
+// pool, sharding contiguous trial ranges.
+func (m *Model) runTrials(trials int, body func(t int)) {
+	workers := m.Parallelism()
+	if workers <= 1 || trials < 2 {
+		for t := 0; t < trials; t++ {
+			body(t)
+		}
+		return
+	}
+	if workers > trials {
+		workers = trials
+	}
+	chunk := (trials + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < trials; lo += chunk {
+		hi := lo + chunk
+		if hi > trials {
+			hi = trials
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for t := lo; t < hi; t++ {
+				body(t)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // VulnCount returns the population size.
@@ -116,14 +187,7 @@ func (m *Model) Simulate(sc Scenario, seed uint64) (Result, error) {
 		return Result{}, err
 	}
 	rnd := rng{state: seed*0x9E3779B97F4A7C15 + 1}
-
-	// Vulnerability lists per distribution, restricted to the scenario.
-	byOS := make(map[osmap.Distro][]core.VulnRef)
-	for _, v := range m.vulns {
-		for _, d := range v.Distros {
-			byOS[d] = append(byOS[d], v)
-		}
-	}
+	byOS := m.byOS()
 
 	compromisedOS := make(map[osmap.Distro]bool)
 	replicasDown := func() int {
@@ -201,18 +265,25 @@ type Summary struct {
 }
 
 // MonteCarlo runs `trials` deterministic simulations (seeds 1..trials).
+// With SetParallelism the trials run on the worker pool; each trial is
+// an independent seeded stream and the aggregation walks the results in
+// trial order, so the summary is identical at any worker count.
 func (m *Model) MonteCarlo(sc Scenario, trials int) (Summary, error) {
 	if trials < 1 {
 		return Summary{}, errors.New("attack: at least one trial required")
 	}
+	if err := sc.Validate(); err != nil {
+		return Summary{}, err
+	}
+	results := make([]Result, trials)
+	m.runTrials(trials, func(t int) {
+		// Validate passed above; per-trial errors cannot occur.
+		results[t], _ = m.Simulate(sc, uint64(t+1))
+	})
 	times := make([]float64, 0, trials)
 	shared := 0
 	unbroken := 0
-	for t := 1; t <= trials; t++ {
-		res, err := m.Simulate(sc, uint64(t))
-		if err != nil {
-			return Summary{}, err
-		}
+	for _, res := range results {
 		if math.IsInf(res.TimeToCompromise, 1) {
 			unbroken++
 			continue
@@ -329,12 +400,7 @@ func (m *Model) SimulateWithRecovery(sc Scenario, interval, horizon float64, see
 		return RecoveryResult{}, errors.New("attack: interval and horizon must be positive")
 	}
 	rnd := rng{state: seed*0x9E3779B97F4A7C15 + 1}
-	byOS := make(map[osmap.Distro][]core.VulnRef)
-	for _, v := range m.vulns {
-		for _, d := range v.Distros {
-			byOS[d] = append(byOS[d], v)
-		}
-	}
+	byOS := m.byOS()
 
 	compromisedOS := make(map[osmap.Distro]bool)
 	replicasDown := func() int {
@@ -411,17 +477,26 @@ func (m *Model) SimulateWithRecovery(sc Scenario, interval, horizon float64, see
 }
 
 // SurvivalRate runs the recovery simulation over many trials and
-// returns the fraction that survived the horizon.
+// returns the fraction that survived the horizon. Trials run on the
+// Monte Carlo worker pool with per-trial seeded streams, so the rate is
+// identical at any worker count.
 func (m *Model) SurvivalRate(sc Scenario, interval, horizon float64, trials int) (float64, error) {
 	if trials < 1 {
 		return 0, errors.New("attack: at least one trial required")
 	}
+	if err := sc.Validate(); err != nil {
+		return 0, err
+	}
+	if interval <= 0 || horizon <= 0 {
+		return 0, errors.New("attack: interval and horizon must be positive")
+	}
+	results := make([]RecoveryResult, trials)
+	m.runTrials(trials, func(t int) {
+		// All arguments validated above; per-trial errors cannot occur.
+		results[t], _ = m.SimulateWithRecovery(sc, interval, horizon, uint64(t+1))
+	})
 	survived := 0
-	for t := 1; t <= trials; t++ {
-		res, err := m.SimulateWithRecovery(sc, interval, horizon, uint64(t))
-		if err != nil {
-			return 0, err
-		}
+	for _, res := range results {
 		if !res.Compromised {
 			survived++
 		}

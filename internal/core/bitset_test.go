@@ -1,0 +1,279 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"osdiversity/internal/corpus"
+	"osdiversity/internal/cve"
+	"osdiversity/internal/osmap"
+)
+
+// The engine-identity suite: the bitset engine must return byte-identical
+// tables to the serial reference and the sharded scans, on the calibrated
+// paper corpus and on a seeded synthetic modern-NVD corpus, at worker
+// counts 1 and 4.
+
+var (
+	engineStudiesMu    sync.Mutex
+	engineStudiesCache = map[string][]*Study{}
+)
+
+// engineStudies builds (once per corpus) one study per (engine, workers)
+// combination over the same entries. Index 0 is the serial scan
+// reference. Studies are shared across tests, so memoized tables carry
+// over and each cell is computed once per engine.
+func engineStudies(t *testing.T, name string, entries entriesSource) []*Study {
+	t.Helper()
+	engineStudiesMu.Lock()
+	defer engineStudiesMu.Unlock()
+	if s, ok := engineStudiesCache[name]; ok {
+		return s
+	}
+	ents, registry := entries(t)
+	mk := func(opts ...Option) *Study {
+		if registry != nil {
+			opts = append(opts, WithRegistry(registry))
+		}
+		return NewStudy(ents, opts...)
+	}
+	studies := []*Study{
+		mk(WithEngine(EngineScan)),
+		mk(WithEngine(EngineScan), WithParallelism(4)),
+		mk(WithEngine(EngineBitset)),
+		mk(WithEngine(EngineBitset), WithParallelism(4)),
+	}
+	engineStudiesCache[name] = studies
+	return studies
+}
+
+type entriesSource func(t *testing.T) ([]*cve.Entry, *osmap.Registry)
+
+var (
+	calibratedOnce sync.Once
+	calibratedEnts []*cve.Entry
+	calibratedErr  error
+
+	syntheticOnce sync.Once
+	syntheticEnts []*cve.Entry
+	syntheticReg  *osmap.Registry
+	syntheticErr  error
+)
+
+func calibratedSource(t *testing.T) ([]*cve.Entry, *osmap.Registry) {
+	t.Helper()
+	calibratedOnce.Do(func() {
+		c, err := corpus.Generate()
+		if err != nil {
+			calibratedErr = err
+			return
+		}
+		calibratedEnts = c.Entries
+	})
+	if calibratedErr != nil {
+		t.Fatalf("corpus.Generate: %v", calibratedErr)
+	}
+	return calibratedEnts, nil
+}
+
+func syntheticSource(t *testing.T) ([]*cve.Entry, *osmap.Registry) {
+	t.Helper()
+	syntheticOnce.Do(func() {
+		n := syntheticTestEntries
+		if testing.Short() {
+			n = syntheticTestEntriesShort
+		}
+		sc, err := corpus.GenerateSynthetic(corpus.SyntheticConfig{
+			Entries: n, Distros: 32, Seed: 42, Workers: 4,
+		})
+		if err != nil {
+			syntheticErr = err
+			return
+		}
+		syntheticEnts = sc.Entries
+		syntheticReg = sc.Registry
+	})
+	if syntheticErr != nil {
+		t.Fatalf("corpus.GenerateSynthetic: %v", syntheticErr)
+	}
+	return syntheticEnts, syntheticReg
+}
+
+func corpora(t *testing.T) map[string]entriesSource {
+	return map[string]entriesSource{
+		"calibrated": calibratedSource,
+		"synthetic":  syntheticSource,
+	}
+}
+
+func TestEngineIdentityTables(t *testing.T) {
+	for name, src := range corpora(t) {
+		t.Run(name, func(t *testing.T) {
+			studies := engineStudies(t, name, src)
+			ref := studies[0]
+			refValidityRows, refValidityDistinct := ref.ValidityTable()
+			refClassRows, refShares := ref.ClassTable()
+			for si, s := range studies[1:] {
+				rows, distinct := s.ValidityTable()
+				if !reflect.DeepEqual(rows, refValidityRows) || distinct != refValidityDistinct {
+					t.Fatalf("study %d: ValidityTable differs from serial reference", si+1)
+				}
+				crows, shares := s.ClassTable()
+				if !reflect.DeepEqual(crows, refClassRows) || shares != refShares {
+					t.Fatalf("study %d: ClassTable differs from serial reference", si+1)
+				}
+			}
+		})
+	}
+}
+
+func TestEngineIdentityPairsAndTotals(t *testing.T) {
+	for name, src := range corpora(t) {
+		t.Run(name, func(t *testing.T) {
+			studies := engineStudies(t, name, src)
+			ref := studies[0]
+			for _, profile := range Profiles() {
+				refPairs := ref.PairMatrix(profile)
+				refTotals := make([]int, 0, len(ref.distros))
+				for _, d := range ref.distros {
+					refTotals = append(refTotals, ref.Total(d, profile))
+				}
+				for si, s := range studies[1:] {
+					if pm := s.PairMatrix(profile); !reflect.DeepEqual(pm, refPairs) {
+						t.Fatalf("study %d: PairMatrix(%v) differs", si+1, profile)
+					}
+					for di, d := range s.distros {
+						if got := s.Total(d, profile); got != refTotals[di] {
+							t.Fatalf("study %d: Total(%v, %v) = %d, want %d", si+1, d, profile, got, refTotals[di])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestEngineIdentityPartsPeriodsWindows(t *testing.T) {
+	for name, src := range corpora(t) {
+		t.Run(name, func(t *testing.T) {
+			studies := engineStudies(t, name, src)
+			ref := studies[0]
+			lo, hi := ref.YearRange()
+			split := (lo + hi) / 2
+			window := SelectionWindow{FromYear: lo + 1, ToYear: split}
+			for si, s := range studies[1:] {
+				for _, p := range ref.pairs {
+					if s.PartBreakdown(p) != ref.PartBreakdown(p) {
+						t.Fatalf("study %d: PartBreakdown(%v) differs", si+1, p)
+					}
+					if s.PeriodSplit(p, split) != ref.PeriodSplit(p, split) {
+						t.Fatalf("study %d: PeriodSplit(%v, %d) differs", si+1, p, split)
+					}
+					if s.PairSharedInWindow(p, window) != ref.PairSharedInWindow(p, window) {
+						t.Fatalf("study %d: PairSharedInWindow(%v) differs", si+1, p)
+					}
+				}
+				for _, d := range ref.distros {
+					if !reflect.DeepEqual(s.TemporalSeries(d), ref.TemporalSeries(d)) {
+						t.Fatalf("study %d: TemporalSeries(%v) differs", si+1, d)
+					}
+					if s.SetCost([]osmap.Distro{d}, window) != ref.SetCost([]osmap.Distro{d}, window) {
+						t.Fatalf("study %d: homogeneous SetCost(%v) differs", si+1, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestEngineIdentityKWiseMostSharedReleases(t *testing.T) {
+	for name, src := range corpora(t) {
+		t.Run(name, func(t *testing.T) {
+			studies := engineStudies(t, name, src)
+			ref := studies[0]
+			refMost := ref.MostSharedEntries(25)
+			// Release cells: probe the first two distros' first recorded
+			// releases (cheap but exercises the posting-bitset path).
+			da, db := ref.distros[0], ref.distros[1]
+			var va, vb string
+			if rels := ref.registry.Releases(da); len(rels) > 0 {
+				va = rels[0].Version
+			}
+			if rels := ref.registry.Releases(db); len(rels) > 0 {
+				vb = rels[0].Version
+			}
+			refRelease := ref.ReleaseOverlap(da, va, db, vb)
+			for si, s := range studies[1:] {
+				for _, profile := range Profiles() {
+					if !reflect.DeepEqual(s.KWiseClusters(profile), ref.KWiseClusters(profile)) {
+						t.Fatalf("study %d: KWiseClusters(%v) differs", si+1, profile)
+					}
+					if !reflect.DeepEqual(s.KWiseProducts(profile), ref.KWiseProducts(profile)) {
+						t.Fatalf("study %d: KWiseProducts(%v) differs", si+1, profile)
+					}
+				}
+				most := s.MostSharedEntries(25)
+				if len(most) != len(refMost) {
+					t.Fatalf("study %d: MostSharedEntries length %d, want %d", si+1, len(most), len(refMost))
+				}
+				for i := range most {
+					if most[i].ID != refMost[i].ID {
+						t.Fatalf("study %d: MostSharedEntries[%d] = %v, want %v", si+1, i, most[i].ID, refMost[i].ID)
+					}
+				}
+				if got := s.ReleaseOverlap(da, va, db, vb); got != refRelease {
+					t.Fatalf("study %d: ReleaseOverlap = %d, want %d", si+1, got, refRelease)
+				}
+			}
+		})
+	}
+}
+
+func TestEngineSwitchKeepsResults(t *testing.T) {
+	ents, _ := calibratedSource(t)
+	s := NewStudy(ents) // default bitset
+	if s.Engine() != EngineBitset {
+		t.Fatalf("default engine = %v, want bitset", s.Engine())
+	}
+	before := s.PairMatrix(IsolatedThinServer)
+	s.SetEngine(EngineScan)
+	s.ClearCache()
+	after := s.PairMatrix(IsolatedThinServer)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("engine switch changed the pair matrix")
+	}
+}
+
+func TestBitsetRangeKernels(t *testing.T) {
+	// 200-bit patterns across word boundaries.
+	a := make([]uint64, 4)
+	b := make([]uint64, 4)
+	set := func(bs []uint64, i int) { bs[i>>6] |= 1 << uint(i&63) }
+	idxs := []int{0, 1, 63, 64, 65, 127, 128, 190, 199}
+	for _, i := range idxs {
+		set(a, i)
+		if i%2 == 0 {
+			set(b, i)
+		}
+	}
+	for lo := 0; lo <= 200; lo += 7 {
+		for hi := lo; hi <= 200; hi += 13 {
+			wantA, wantAB := 0, 0
+			for _, i := range idxs {
+				if i >= lo && i < hi {
+					wantA++
+					if i%2 == 0 {
+						wantAB++
+					}
+				}
+			}
+			if got := popcountRange(a, lo, hi); got != wantA {
+				t.Fatalf("popcountRange(%d,%d) = %d, want %d", lo, hi, got, wantA)
+			}
+			if got := andPopcountRange(a, b, lo, hi); got != wantAB {
+				t.Fatalf("andPopcountRange(%d,%d) = %d, want %d", lo, hi, got, wantAB)
+			}
+		}
+	}
+}

@@ -154,10 +154,10 @@ func (s *Study) DiversityScore(p osmap.Pair, profile Profile) float64 {
 	return 1 - stats.Jaccard(onlyA, onlyB, both)
 }
 
-// RankPairsByDiversity orders all 55 pairs by descending diversity
-// score under a profile.
+// RankPairsByDiversity orders the universe's pairs by descending
+// diversity score under a profile.
 func (s *Study) RankPairsByDiversity(profile Profile) []osmap.Pair {
-	pairs := osmap.AllPairs()
+	pairs := s.Pairs()
 	score := make(map[osmap.Pair]float64, len(pairs))
 	for _, p := range pairs {
 		score[p] = s.DiversityScore(p, profile)

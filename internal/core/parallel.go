@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/bits"
 	"runtime"
 	"sync"
 
@@ -9,14 +8,15 @@ import (
 	"osdiversity/internal/osmap"
 )
 
-// This file is the sharded half of the analysis engine. Every table
-// query has two implementations: the serial single-goroutine path (the
-// reference, in study.go and selection.go) and a shard/merge path here
-// that partitions the record slice across a bounded worker pool,
-// computes per-shard partial aggregates in a single pass, and merges
-// them in shard order so the result is deterministic. Completed tables
-// are memoized behind a sync.Once-style cache keyed by (query, profile,
-// args), so repeated benchmark/CLI invocations are near-free.
+// This file is the sharded half of the scan engine. Every table query
+// has a serial single-goroutine implementation (the reference, in
+// study.go and selection.go) and a shard/merge path here that partitions
+// the record slice across a bounded worker pool, computes per-shard
+// partial aggregates in a single pass, and merges them in shard order so
+// the result is deterministic. Completed tables are memoized behind a
+// sync.Once-style cache keyed by (query, profile, args), so repeated
+// benchmark/CLI invocations are near-free. The columnar bitset engine
+// lives in bitset.go and reuses the same worker-pool primitives.
 
 // minParallelItems is the slice length below which sharding is not
 // worth the goroutine fan-out and the serial body runs instead.
@@ -66,6 +66,8 @@ const (
 	qKWiseProducts
 	qWindowPairs
 	qWindowTotals
+	qPairsAll
+	qMostShared
 )
 
 // ckey identifies one memoized table: the query, the profile filter and
@@ -99,17 +101,30 @@ func (s *Study) cached(k ckey, compute func() any) any {
 	return e.val
 }
 
-// ClearCache drops every memoized table. The record set is immutable,
-// so this is only needed to benchmark the raw compute paths.
+// ClearCache drops every memoized table (the columnar bitset index and
+// release postings are structural, not results, and are kept). The
+// record set is immutable, so this is only needed to benchmark the raw
+// compute paths.
 func (s *Study) ClearCache() {
 	s.cacheMu.Lock()
 	s.cache = nil
 	s.cacheMu.Unlock()
 }
 
+// capWorkers bounds a CPU-bound fan-out at the machine's parallelism:
+// extra goroutines beyond GOMAXPROCS only add scheduling overhead and
+// per-shard aggregate churn.
+func capWorkers(workers int) int {
+	if g := runtime.GOMAXPROCS(0); workers > g {
+		return g
+	}
+	return workers
+}
+
 // runShards splits [0, n) into one contiguous range per worker and runs
 // body on each concurrently.
 func runShards(workers, n int, body func(lo, hi int)) {
+	workers = capWorkers(workers)
 	if workers <= 1 || n < minParallelItems {
 		body(0, n)
 		return
@@ -138,6 +153,7 @@ func runShards(workers, n int, body func(lo, hi int)) {
 // order. With one worker (or a short slice) it degenerates to a single
 // pass with no goroutines.
 func reduceShards[A any](workers int, recs []record, newAgg func() A, body func(agg A, shard []record), merge func(dst, src A)) A {
+	workers = capWorkers(workers)
 	dst := newAgg()
 	if workers <= 1 || len(recs) < minParallelItems {
 		body(dst, recs)
@@ -171,19 +187,12 @@ func reduceShards[A any](workers int, recs []record, newAgg func() A, body func(
 	return dst
 }
 
-// forEachBit calls fn with the index of every set bit of mask.
-func forEachBit(mask uint16, fn func(i int)) {
-	for m := mask; m != 0; m &= m - 1 {
-		fn(bits.TrailingZeros16(m))
-	}
-}
-
 // --- parallel aggregates -------------------------------------------------
 
 // validityAgg is the per-shard partial of Table I.
 type validityAgg struct {
-	valid    [osmap.NumDistros]int
-	invalid  [osmap.NumDistros][3]int // unknown, unspecified, disputed
+	valid    []int    // per distro
+	invalid  [][3]int // per distro: unknown, unspecified, disputed
 	distinct [3]int
 }
 
@@ -199,27 +208,28 @@ func validityIdx(v classify.Validity) int {
 }
 
 func (s *Study) validityParallel() *validityResult {
-	agg := reduceShards(s.workers(), s.records,
-		func() *validityAgg { return &validityAgg{} },
+	newAgg := func() *validityAgg {
+		return &validityAgg{valid: make([]int, s.nd), invalid: make([][3]int, s.nd)}
+	}
+	agg := reduceShards(s.workers(), s.records, newAgg,
 		func(a *validityAgg, shard []record) {
 			for i := range shard {
-				forEachBit(shard[i].mask, func(b int) { a.valid[b]++ })
+				shard[i].mask.ForEachBit(func(b int) { a.valid[b]++ })
 			}
 		},
 		mergeValidity)
-	inv := reduceShards(s.workers(), s.invalid,
-		func() *validityAgg { return &validityAgg{} },
+	inv := reduceShards(s.workers(), s.invalid, newAgg,
 		func(a *validityAgg, shard []record) {
 			for i := range shard {
 				vi := validityIdx(shard[i].validity)
 				a.distinct[vi]++
-				forEachBit(shard[i].mask, func(b int) { a.invalid[b][vi]++ })
+				shard[i].mask.ForEachBit(func(b int) { a.invalid[b][vi]++ })
 			}
 		},
 		mergeValidity)
 
-	res := &validityResult{rows: make([]ValidityRow, 0, osmap.NumDistros)}
-	for i, d := range osmap.Distros() {
+	res := &validityResult{rows: make([]ValidityRow, 0, s.nd)}
+	for i, d := range s.distros {
 		res.rows = append(res.rows, ValidityRow{
 			Distro:      d,
 			Valid:       agg.valid[i],
@@ -251,7 +261,7 @@ func mergeValidity(dst, src *validityAgg) {
 
 // classAgg is the per-shard partial of Table II.
 type classAgg struct {
-	perOS    [osmap.NumDistros][4]int
+	perOS    [][4]int // per distro
 	distinct [4]int
 }
 
@@ -274,7 +284,7 @@ func classIdx(c classify.Class) int {
 
 func (s *Study) classParallel() *classResult {
 	agg := reduceShards(s.workers(), s.records,
-		func() *classAgg { return &classAgg{} },
+		func() *classAgg { return &classAgg{perOS: make([][4]int, s.nd)} },
 		func(a *classAgg, shard []record) {
 			for i := range shard {
 				ci := classIdx(shard[i].class)
@@ -282,7 +292,7 @@ func (s *Study) classParallel() *classResult {
 					continue
 				}
 				a.distinct[ci]++
-				forEachBit(shard[i].mask, func(b int) { a.perOS[b][ci]++ })
+				shard[i].mask.ForEachBit(func(b int) { a.perOS[b][ci]++ })
 			}
 		},
 		func(dst, src *classAgg) {
@@ -296,8 +306,8 @@ func (s *Study) classParallel() *classResult {
 			}
 		})
 
-	res := &classResult{rows: make([]ClassRow, 0, osmap.NumDistros)}
-	for i, d := range osmap.Distros() {
+	res := &classResult{rows: make([]ClassRow, 0, s.nd)}
+	for i, d := range s.distros {
 		res.rows = append(res.rows, ClassRow{
 			Distro:  d,
 			Driver:  agg.perOS[i][0],
@@ -316,13 +326,13 @@ func (s *Study) classParallel() *classResult {
 
 func (s *Study) totalsParallel(profile Profile) []int {
 	return reduceShards(s.workers(), s.records,
-		func() []int { return make([]int, osmap.NumDistros) },
+		func() []int { return make([]int, s.nd) },
 		func(a []int, shard []record) {
 			for i := range shard {
 				if !shard[i].matches(profile) {
 					continue
 				}
-				forEachBit(shard[i].mask, func(b int) { a[b]++ })
+				shard[i].mask.ForEachBit(func(b int) { a[b]++ })
 			}
 		},
 		mergeIntSlice)
@@ -334,33 +344,25 @@ func mergeIntSlice(dst, src []int) {
 	}
 }
 
-// maskBits unpacks the set-bit indices of mask into dst, returning the
-// count. Enumerating bit pairs visits C(k,2) cells per record instead of
-// scanning all 55 pair masks — most records touch one to three distros.
-func maskBits(mask uint16, dst *[osmap.NumDistros]int) int {
-	n := 0
-	for m := mask; m != 0; m &= m - 1 {
-		dst[n] = bits.TrailingZeros16(m)
-		n++
-	}
-	return n
-}
+// pairAtIdx maps two distro bit indices to the pair's position in the
+// study's Pairs() order.
+func (s *Study) pairAtIdx(i, j int) int { return s.pairAt[i*s.nd+j] }
 
 func (s *Study) pairCountsParallel(profile Profile) []int {
 	return reduceShards(s.workers(), s.records,
 		func() []int { return make([]int, len(s.pairs)) },
 		func(a []int, shard []record) {
-			var bs [osmap.NumDistros]int
+			bs := make([]int, s.nd)
 			for i := range shard {
 				r := &shard[i]
 				// Single-OS records cannot contribute to any pair.
-				if r.mask&(r.mask-1) == 0 || !r.matches(profile) {
+				if r.nos < 2 || !r.matches(profile) {
 					continue
 				}
-				n := maskBits(r.mask, &bs)
+				n := r.mask.Bits(bs)
 				for x := 0; x < n; x++ {
 					for y := x + 1; y < n; y++ {
-						a[s.pairAt[bs[x]][bs[y]]]++
+						a[s.pairAtIdx(bs[x], bs[y])]++
 					}
 				}
 			}
@@ -372,16 +374,16 @@ func (s *Study) partsParallel() []PartCounts {
 	return reduceShards(s.workers(), s.records,
 		func() []PartCounts { return make([]PartCounts, len(s.pairs)) },
 		func(a []PartCounts, shard []record) {
-			var bs [osmap.NumDistros]int
+			bs := make([]int, s.nd)
 			for i := range shard {
 				r := &shard[i]
-				if r.mask&(r.mask-1) == 0 || !r.matches(IsolatedThinServer) {
+				if r.nos < 2 || !r.matches(IsolatedThinServer) {
 					continue
 				}
-				n := maskBits(r.mask, &bs)
+				n := r.mask.Bits(bs)
 				for x := 0; x < n; x++ {
 					for y := x + 1; y < n; y++ {
-						pc := &a[s.pairAt[bs[x]][bs[y]]]
+						pc := &a[s.pairAtIdx(bs[x], bs[y])]
 						switch r.class {
 						case classify.ClassDriver:
 							pc.Driver++
@@ -407,16 +409,16 @@ func (s *Study) periodsParallel(splitYear int) []PeriodCounts {
 	return reduceShards(s.workers(), s.records,
 		func() []PeriodCounts { return make([]PeriodCounts, len(s.pairs)) },
 		func(a []PeriodCounts, shard []record) {
-			var bs [osmap.NumDistros]int
+			bs := make([]int, s.nd)
 			for i := range shard {
 				r := &shard[i]
-				if r.mask&(r.mask-1) == 0 || !r.matches(IsolatedThinServer) {
+				if r.nos < 2 || !r.matches(IsolatedThinServer) {
 					continue
 				}
-				n := maskBits(r.mask, &bs)
+				n := r.mask.Bits(bs)
 				for x := 0; x < n; x++ {
 					for y := x + 1; y < n; y++ {
-						pc := &a[s.pairAt[bs[x]][bs[y]]]
+						pc := &a[s.pairAtIdx(bs[x], bs[y])]
 						if r.year <= splitYear {
 							pc.History++
 						} else {
@@ -435,12 +437,12 @@ func (s *Study) periodsParallel(splitYear int) []PeriodCounts {
 }
 
 func (s *Study) temporalParallel(d osmap.Distro) map[int]int {
-	bit := s.bit[d]
+	bit := s.index[d]
 	return reduceShards(s.workers(), s.records,
 		func() map[int]int { return make(map[int]int) },
 		func(a map[int]int, shard []record) {
 			for i := range shard {
-				if shard[i].mask&bit != 0 {
+				if shard[i].mask.Has(bit) {
 					a[shard[i].year]++
 				}
 			}
@@ -499,7 +501,7 @@ func (s *Study) kwiseClustersParallel(profile Profile) map[int]int {
 			for i := range shard {
 				r := &shard[i]
 				if r.matches(profile) {
-					a.bump(popcount(r.mask))
+					a.bump(r.nos)
 				}
 			}
 		},
@@ -524,16 +526,16 @@ func (s *Study) windowPairsParallel(w SelectionWindow) []int {
 	return reduceShards(s.workers(), s.records,
 		func() []int { return make([]int, len(s.pairs)) },
 		func(a []int, shard []record) {
-			var bs [osmap.NumDistros]int
+			bs := make([]int, s.nd)
 			for i := range shard {
 				r := &shard[i]
-				if r.mask&(r.mask-1) == 0 || !r.matches(IsolatedThinServer) || !w.contains(r.year) {
+				if r.nos < 2 || !r.matches(IsolatedThinServer) || !w.contains(r.year) {
 					continue
 				}
-				n := maskBits(r.mask, &bs)
+				n := r.mask.Bits(bs)
 				for x := 0; x < n; x++ {
 					for y := x + 1; y < n; y++ {
-						a[s.pairAt[bs[x]][bs[y]]]++
+						a[s.pairAtIdx(bs[x], bs[y])]++
 					}
 				}
 			}
@@ -543,14 +545,14 @@ func (s *Study) windowPairsParallel(w SelectionWindow) []int {
 
 func (s *Study) windowTotalsParallel(w SelectionWindow) []int {
 	return reduceShards(s.workers(), s.records,
-		func() []int { return make([]int, osmap.NumDistros) },
+		func() []int { return make([]int, s.nd) },
 		func(a []int, shard []record) {
 			for i := range shard {
 				r := &shard[i]
 				if !r.matches(IsolatedThinServer) || !w.contains(r.year) {
 					continue
 				}
-				forEachBit(r.mask, func(b int) { a[b]++ })
+				r.mask.ForEachBit(func(b int) { a[b]++ })
 			}
 		},
 		mergeIntSlice)

@@ -27,9 +27,11 @@ func identityStudies(t *testing.T) (serial, parallel *Study) {
 			corpusErr = err
 			return
 		}
+		// Pin the scan engine: these tests cover the serial-vs-sharded
+		// record walks; bitset_test.go covers cross-engine identity.
 		corpusEntries = []*Study{
-			NewStudy(c.Entries),
-			NewStudy(c.Entries, WithParallelism(4)),
+			NewStudy(c.Entries, WithEngine(EngineScan)),
+			NewStudy(c.Entries, WithEngine(EngineScan), WithParallelism(4)),
 		}
 	})
 	if corpusErr != nil {
@@ -51,7 +53,7 @@ func TestParallelIngestionIdentical(t *testing.T) {
 	}
 	for i := range serial.records {
 		a, b := &serial.records[i], &parallel.records[i]
-		if a.entry.ID != b.entry.ID || a.mask != b.mask || a.class != b.class ||
+		if a.entry.ID != b.entry.ID || !a.mask.Equal(b.mask) || a.class != b.class ||
 			a.remote != b.remote || a.year != b.year || a.products != b.products {
 			t.Fatalf("record %d differs: %+v vs %+v", i, a, b)
 		}

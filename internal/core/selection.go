@@ -78,14 +78,18 @@ func (w SelectionWindow) contains(year int) bool {
 // memoized matrix turns subset enumeration into table lookups.
 func (s *Study) windowPairCounts(w SelectionWindow) []int {
 	return s.cached(ckey{q: qWindowPairs, a: w.FromYear, b: w.ToYear}, func() any {
-		if s.isParallel() {
+		switch {
+		case s.useBitset():
+			return s.windowPairsBitset(w)
+		case s.isParallel():
 			return s.windowPairsParallel(w)
+		default:
+			out := make([]int, len(s.pairs))
+			for i, p := range s.pairs {
+				out[i] = s.pairSharedInWindowSerial(p, w)
+			}
+			return out
 		}
-		out := make([]int, len(s.pairs))
-		for i, p := range s.pairs {
-			out[i] = s.pairSharedInWindowSerial(p, w)
-		}
-		return out
 	}).([]int)
 }
 
@@ -93,21 +97,25 @@ func (s *Study) windowPairCounts(w SelectionWindow) []int {
 // inside the window, indexed by position in osmap.Distros().
 func (s *Study) windowTotals(w SelectionWindow) []int {
 	return s.cached(ckey{q: qWindowTotals, a: w.FromYear, b: w.ToYear}, func() any {
-		if s.isParallel() {
+		switch {
+		case s.useBitset():
+			return s.windowTotalsBitset(w)
+		case s.isParallel():
 			return s.windowTotalsParallel(w)
-		}
-		out := make([]int, osmap.NumDistros)
-		for i, d := range osmap.Distros() {
-			n := 0
-			for j := range s.records {
-				r := &s.records[j]
-				if s.affects(r, d) && r.matches(IsolatedThinServer) && w.contains(r.year) {
-					n++
+		default:
+			out := make([]int, s.nd)
+			for i, d := range s.distros {
+				n := 0
+				for j := range s.records {
+					r := &s.records[j]
+					if s.affects(r, d) && r.matches(IsolatedThinServer) && w.contains(r.year) {
+						n++
+					}
 				}
+				out[i] = n
 			}
-			out[i] = n
+			return out
 		}
-		return out
 	}).([]int)
 }
 
@@ -121,11 +129,15 @@ func (s *Study) PairSharedInWindow(p osmap.Pair, w SelectionWindow) int {
 }
 
 func (s *Study) pairSharedInWindowSerial(p osmap.Pair, w SelectionWindow) int {
-	both := s.bit[p.A] | s.bit[p.B]
+	ia, oka := s.index[p.A]
+	ib, okb := s.index[p.B]
+	if !oka || !okb {
+		return 0
+	}
 	n := 0
 	for i := range s.records {
 		r := &s.records[i]
-		if r.mask&both == both && r.matches(IsolatedThinServer) && w.contains(r.year) {
+		if r.mask.Has(ia) && r.mask.Has(ib) && r.matches(IsolatedThinServer) && w.contains(r.year) {
 			n++
 		}
 	}

@@ -1,0 +1,10 @@
+//go:build !race
+
+package core
+
+// syntheticTestEntries is the synthetic-corpus size of the engine
+// identity tests: full production scale in ordinary runs, reduced under
+// the race detector (whose ~10x slowdown would dominate CI) and -short.
+const syntheticTestEntries = 100_000
+
+const syntheticTestEntriesShort = 20_000

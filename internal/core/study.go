@@ -4,19 +4,24 @@
 // A Study ingests NVD entries (from feeds, the SQL store, or the
 // synthetic corpus — anything that yields cve.Entry values), applies the
 // paper's §III methodology (OS-part selection, validity filtering,
-// clustering into the 11 distributions, component classification), and
-// answers every question the evaluation section asks: per-OS totals,
-// class distributions, pairwise and k-wise overlaps under the three
-// server profiles, temporal splits, replica-set selection and
-// per-release overlaps.
+// clustering into distributions, component classification), and answers
+// every question the evaluation section asks: per-OS totals, class
+// distributions, pairwise and k-wise overlaps under the three server
+// profiles, temporal splits, replica-set selection and per-release
+// overlaps. The distro universe comes from the registry — the paper's 11
+// distributions by default, arbitrarily many with a synthetic registry —
+// and per-entry affected-OS sets are variable-width osmap.Mask bitmasks.
 //
-// The engine has two execution paths. The serial path (the bodies named
-// *Serial below) walks the record slice once per question, exactly as
-// the seed implementation did. With WithParallelism(n), n > 1, the
-// queries instead shard the record slice across a bounded worker pool
-// and merge per-shard partial aggregates (see parallel.go); both paths
-// produce identical tables. Completed tables are memoized per Study, so
-// regenerating a table is a lookup after the first computation.
+// The engine has three execution paths. The serial path (the bodies
+// named *Serial below) walks the record slice once per question, exactly
+// as the seed implementation did. With WithParallelism(n), n > 1, the
+// scan queries instead shard the record slice across a bounded worker
+// pool and merge per-shard partial aggregates (see parallel.go). The
+// default EngineBitset path (bitset.go) answers the same questions from
+// a columnar index — per-distro, per-profile and per-class posting
+// bitsets packed as []uint64 with per-year segment offsets — turning
+// every table into word-wise AND + popcount loops. All paths produce
+// identical tables; completed tables are memoized per Study.
 package core
 
 import (
@@ -64,7 +69,8 @@ func Profiles() []Profile { return []Profile{FatServer, ThinServer, IsolatedThin
 // record is the per-entry digest the analyses run on.
 type record struct {
 	entry    *cve.Entry
-	mask     uint16 // bit i set = affects Distros()[i]
+	mask     osmap.Mask // bit i set = affects the study's Distros()[i]
+	nos      int        // cached mask popcount (affected distro count)
 	class    classify.Class
 	remote   bool
 	year     int
@@ -76,22 +82,39 @@ type record struct {
 type Study struct {
 	registry   *osmap.Registry
 	classifier *classify.Classifier
-	records    []record // valid entries only
+	records    []record // valid entries only, sorted by publication year
 	invalid    []record // entries removed by the validity filter
 	skipped    int      // entries with no clustered OS product
-	bit        map[osmap.Distro]uint16
-	index      map[osmap.Distro]int // position in osmap.Distros()
 
-	// pairs/pairIdx freeze the osmap.AllPairs() order so the sharded
+	// distros/index freeze the registry's universe: distros in
+	// presentation order, index mapping each to its mask bit.
+	distros   []osmap.Distro
+	nd        int
+	maskWords int
+	index     map[osmap.Distro]int
+
+	// pairs/pairIdx freeze the universe's pair order so the sharded
 	// all-pairs aggregates and the per-pair accessors agree; pairAt
-	// maps two distro bit indices to that order.
+	// (nd×nd, flat) maps two distro bit indices to that order.
 	pairs   []osmap.Pair
 	pairIdx map[osmap.Pair]int
-	pairAt  [osmap.NumDistros][osmap.NumDistros]int
+	pairAt  []int
 
 	// workerCount is the query/ingestion worker count (1 = serial),
 	// atomic so SetParallelism can race with in-flight queries safely.
 	workerCount atomic.Int32
+
+	// engineMode selects scan vs bitset execution (see bitset.go).
+	engineMode atomic.Int32
+
+	// bitOnce/bidx lazily build the columnar bitset index.
+	bitOnce sync.Once
+	bidx    *bitIndex
+
+	// relMu/relBits memoize per-(distro, version) release posting
+	// bitsets for the Table VI queries.
+	relMu   sync.Mutex
+	relBits map[releaseKey][]uint64
 
 	cacheMu sync.Mutex
 	cache   map[ckey]*cacheEntry
@@ -101,7 +124,8 @@ type Study struct {
 type Option func(*Study)
 
 // WithRegistry substitutes the OS registry (the default is the study's
-// 64-CPE registry).
+// 64-CPE, 11-distro registry). The registry also defines the distro
+// universe the analyses run over.
 func WithRegistry(r *osmap.Registry) Option {
 	return func(s *Study) { s.registry = r }
 }
@@ -112,64 +136,76 @@ func WithClassifier(c *classify.Classifier) Option {
 }
 
 // NewStudy ingests entries and precomputes the per-entry digests.
-// Entries that do not touch any of the 11 clustered distributions are
-// ignored (the paper keeps only its 64 CPEs); entries tagged Unknown,
-// Unspecified or Disputed are kept aside and reported by ValidityTable
-// but excluded from every analysis, exactly as in §III-A.
+// Entries that do not touch any clustered distribution are ignored (the
+// paper keeps only its 64 CPEs); entries tagged Unknown, Unspecified or
+// Disputed are kept aside and reported by ValidityTable but excluded
+// from every analysis, exactly as in §III-A.
 func NewStudy(entries []*cve.Entry, opts ...Option) *Study {
 	s := &Study{
 		registry:   osmap.NewRegistry(),
 		classifier: classify.NewClassifier(),
-		bit:        make(map[osmap.Distro]uint16, osmap.NumDistros),
-		index:      make(map[osmap.Distro]int, osmap.NumDistros),
 	}
+	s.engineMode.Store(int32(EngineBitset))
 	for _, opt := range opts {
 		opt(s)
 	}
-	for i, d := range osmap.Distros() {
-		s.bit[d] = 1 << uint(i)
+	s.distros = s.registry.Distros()
+	s.nd = len(s.distros)
+	s.maskWords = (s.nd + 63) / 64
+	s.index = make(map[osmap.Distro]int, s.nd)
+	for i, d := range s.distros {
 		s.index[d] = i
 	}
-	s.pairs = osmap.AllPairs()
-	s.pairIdx = make(map[osmap.Pair]int, len(s.pairs))
-	for i, p := range s.pairs {
-		s.pairIdx[p] = i
-	}
-	ds := osmap.Distros()
-	for i := 0; i < len(ds); i++ {
-		for j := i + 1; j < len(ds); j++ {
-			pi := s.pairIdx[osmap.MakePair(ds[i], ds[j])]
-			s.pairAt[i][j] = pi
-			s.pairAt[j][i] = pi
+	s.pairs = make([]osmap.Pair, 0, s.nd*(s.nd-1)/2)
+	s.pairIdx = make(map[osmap.Pair]int)
+	s.pairAt = make([]int, s.nd*s.nd)
+	for i := 0; i < s.nd; i++ {
+		for j := i + 1; j < s.nd; j++ {
+			p := osmap.MakePair(s.distros[i], s.distros[j])
+			pi := len(s.pairs)
+			s.pairs = append(s.pairs, p)
+			s.pairIdx[p] = pi
+			s.pairAt[i*s.nd+j] = pi
+			s.pairAt[j*s.nd+i] = pi
 		}
 	}
 	s.ingest(entries)
 	return s
 }
 
+// Distros returns the study's distro universe in presentation order.
+func (s *Study) Distros() []osmap.Distro { return append([]osmap.Distro(nil), s.distros...) }
+
+// Pairs returns the universe's unordered pairs in table row order.
+func (s *Study) Pairs() []osmap.Pair { return append([]osmap.Pair(nil), s.pairs...) }
+
 // ingest digests entries into records. With more than one worker the
 // digests run concurrently (the registry and classifier are read-only
-// after construction); the append pass stays in input order, so the
-// record layout is identical to the serial path.
+// after construction); the append pass stays in input order and the
+// year sort is stable, so the record layout is identical to the serial
+// path. Masks are carved out of one contiguous arena so the scan paths
+// stream cache-friendly memory.
 func (s *Study) ingest(entries []*cve.Entry) {
 	type digested struct {
 		rec record
 		ok  bool
 	}
-	var out []digested
+	arena := make([]uint64, len(entries)*s.maskWords)
+	maskAt := func(i int) osmap.Mask {
+		return osmap.Mask(arena[i*s.maskWords : (i+1)*s.maskWords : (i+1)*s.maskWords])
+	}
+	out := make([]digested, len(entries))
 	if s.isParallel() && len(entries) >= minParallelItems {
-		out = make([]digested, len(entries))
 		runShards(s.workers(), len(entries), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				rec, ok := s.digest(entries[i])
+				rec, ok := s.digest(entries[i], maskAt(i))
 				out[i] = digested{rec, ok}
 			}
 		})
 	} else {
-		out = make([]digested, 0, len(entries))
-		for _, e := range entries {
-			rec, ok := s.digest(e)
-			out = append(out, digested{rec, ok})
+		for i, e := range entries {
+			rec, ok := s.digest(e, maskAt(i))
+			out[i] = digested{rec, ok}
 		}
 	}
 	for i := range out {
@@ -182,10 +218,14 @@ func (s *Study) ingest(entries []*cve.Entry) {
 			s.records = append(s.records, out[i].rec)
 		}
 	}
+	// Order valid records by publication year so the bitset index can
+	// answer period and window queries over contiguous bit ranges. The
+	// sort is stable and every table is an aggregate, so all engines see
+	// identical results.
+	sort.SliceStable(s.records, func(i, j int) bool { return s.records[i].year < s.records[j].year })
 }
 
-func (s *Study) digest(e *cve.Entry) (record, bool) {
-	var mask uint16
+func (s *Study) digest(e *cve.Entry, mask osmap.Mask) (record, bool) {
 	productSet := make(map[string]bool, len(e.Products))
 	for _, p := range e.Products {
 		if !p.IsOS() {
@@ -193,15 +233,19 @@ func (s *Study) digest(e *cve.Entry) (record, bool) {
 		}
 		productSet[p.Vendor+"/"+p.Product] = true
 		if d, ok := s.registry.Cluster(p); ok {
-			mask |= s.bit[d]
+			if i, ok := s.index[d]; ok {
+				mask.Set(i)
+			}
 		}
 	}
-	if mask == 0 {
+	nos := mask.OnesCount()
+	if nos == 0 {
 		return record{}, false
 	}
 	return record{
 		entry:    e,
 		mask:     mask,
+		nos:      nos,
 		class:    s.classifier.Classify(e),
 		remote:   e.Remote(),
 		year:     e.Year(),
@@ -225,7 +269,10 @@ func (r *record) matches(p Profile) bool {
 }
 
 // affects reports whether the record touches the distribution.
-func (s *Study) affects(r *record, d osmap.Distro) bool { return r.mask&s.bit[d] != 0 }
+func (s *Study) affects(r *record, d osmap.Distro) bool {
+	i, ok := s.index[d]
+	return ok && r.mask.Has(i)
+}
 
 // ValidEntries returns the number of valid entries under analysis.
 func (s *Study) ValidEntries() int { return len(s.records) }
@@ -253,17 +300,21 @@ type validityResult struct {
 // distinct totals across all OSes.
 func (s *Study) ValidityTable() (rows []ValidityRow, distinct ValidityRow) {
 	v := s.cached(ckey{q: qValidity}, func() any {
-		if s.isParallel() {
+		switch {
+		case s.useBitset():
+			return s.validityBitset()
+		case s.isParallel():
 			return s.validityParallel()
+		default:
+			return s.validitySerial()
 		}
-		return s.validitySerial()
 	}).(*validityResult)
 	return append([]ValidityRow(nil), v.rows...), v.distinct
 }
 
 func (s *Study) validitySerial() *validityResult {
-	res := &validityResult{rows: make([]ValidityRow, 0, osmap.NumDistros)}
-	for _, d := range osmap.Distros() {
+	res := &validityResult{rows: make([]ValidityRow, 0, s.nd)}
+	for _, d := range s.distros {
 		row := ValidityRow{Distro: d}
 		for i := range s.records {
 			if s.affects(&s.records[i], d) {
@@ -321,17 +372,21 @@ type classResult struct {
 // distinct-vulnerability percentage shares of the four classes.
 func (s *Study) ClassTable() (rows []ClassRow, shares [4]float64) {
 	v := s.cached(ckey{q: qClass}, func() any {
-		if s.isParallel() {
+		switch {
+		case s.useBitset():
+			return s.classBitset()
+		case s.isParallel():
 			return s.classParallel()
+		default:
+			return s.classSerial()
 		}
-		return s.classSerial()
 	}).(*classResult)
 	return append([]ClassRow(nil), v.rows...), v.shares
 }
 
 func (s *Study) classSerial() *classResult {
-	res := &classResult{rows: make([]ClassRow, 0, osmap.NumDistros)}
-	for _, d := range osmap.Distros() {
+	res := &classResult{rows: make([]ClassRow, 0, s.nd)}
+	for _, d := range s.distros {
 		row := ClassRow{Distro: d}
 		for i := range s.records {
 			if !s.affects(&s.records[i], d) {
@@ -365,17 +420,21 @@ func (s *Study) classSerial() *classResult {
 }
 
 // totals returns the per-distro valid counts under a profile, indexed
-// by position in osmap.Distros().
+// by position in the study's Distros().
 func (s *Study) totals(profile Profile) []int {
 	return s.cached(ckey{q: qTotals, profile: profile}, func() any {
-		if s.isParallel() {
+		switch {
+		case s.useBitset():
+			return s.totalsBitset(profile)
+		case s.isParallel():
 			return s.totalsParallel(profile)
+		default:
+			out := make([]int, s.nd)
+			for i, d := range s.distros {
+				out[i] = s.totalSerial(d, profile)
+			}
+			return out
 		}
-		out := make([]int, osmap.NumDistros)
-		for i, d := range osmap.Distros() {
-			out[i] = s.totalSerial(d, profile)
-		}
-		return out
 	}).([]int)
 }
 
@@ -400,17 +459,21 @@ func (s *Study) totalSerial(d osmap.Distro, profile Profile) int {
 }
 
 // pairCounts returns all pairwise overlaps under a profile, indexed by
-// position in osmap.AllPairs().
+// position in the study's Pairs().
 func (s *Study) pairCounts(profile Profile) []int {
 	return s.cached(ckey{q: qPairs, profile: profile}, func() any {
-		if s.isParallel() {
+		switch {
+		case s.useBitset():
+			return s.pairCountsBitset(profile)
+		case s.isParallel():
 			return s.pairCountsParallel(profile)
+		default:
+			out := make([]int, len(s.pairs))
+			for i, p := range s.pairs {
+				out[i] = s.overlapSerial(p, profile)
+			}
+			return out
 		}
-		out := make([]int, len(s.pairs))
-		for i, p := range s.pairs {
-			out[i] = s.overlapSerial(p, profile)
-		}
-		return out
 	}).([]int)
 }
 
@@ -424,18 +487,23 @@ func (s *Study) Overlap(p osmap.Pair, profile Profile) int {
 }
 
 func (s *Study) overlapSerial(p osmap.Pair, profile Profile) int {
-	both := s.bit[p.A] | s.bit[p.B]
+	ia, oka := s.index[p.A]
+	ib, okb := s.index[p.B]
+	if !oka || !okb {
+		return 0
+	}
 	n := 0
 	for i := range s.records {
 		r := &s.records[i]
-		if r.mask&both == both && r.matches(profile) {
+		if r.mask.Has(ia) && r.mask.Has(ib) && r.matches(profile) {
 			n++
 		}
 	}
 	return n
 }
 
-// PairMatrix computes all 55 pairwise overlaps under a profile.
+// PairMatrix computes all pairwise overlaps under a profile (Table III
+// has 55 pairs for the paper's 11-distro universe).
 func (s *Study) PairMatrix(profile Profile) map[osmap.Pair]int {
 	counts := s.pairCounts(profile)
 	out := make(map[osmap.Pair]int, len(s.pairs))
@@ -457,17 +525,21 @@ type PartCounts struct {
 func (p PartCounts) Total() int { return p.Driver + p.Kernel + p.SysSoft }
 
 // partCounts returns every pair's Table IV row, indexed by position in
-// osmap.AllPairs().
+// the study's Pairs().
 func (s *Study) partCounts() []PartCounts {
 	return s.cached(ckey{q: qParts}, func() any {
-		if s.isParallel() {
+		switch {
+		case s.useBitset():
+			return s.partsBitset()
+		case s.isParallel():
 			return s.partsParallel()
+		default:
+			out := make([]PartCounts, len(s.pairs))
+			for i, p := range s.pairs {
+				out[i] = s.partBreakdownSerial(p)
+			}
+			return out
 		}
-		out := make([]PartCounts, len(s.pairs))
-		for i, p := range s.pairs {
-			out[i] = s.partBreakdownSerial(p)
-		}
-		return out
 	}).([]PartCounts)
 }
 
@@ -480,11 +552,15 @@ func (s *Study) PartBreakdown(p osmap.Pair) PartCounts {
 }
 
 func (s *Study) partBreakdownSerial(p osmap.Pair) PartCounts {
-	both := s.bit[p.A] | s.bit[p.B]
+	ia, oka := s.index[p.A]
+	ib, okb := s.index[p.B]
 	var out PartCounts
+	if !oka || !okb {
+		return out
+	}
 	for i := range s.records {
 		r := &s.records[i]
-		if r.mask&both != both || !r.matches(IsolatedThinServer) {
+		if !r.mask.Has(ia) || !r.mask.Has(ib) || !r.matches(IsolatedThinServer) {
 			continue
 		}
 		switch r.class {
@@ -510,17 +586,21 @@ type PeriodCounts struct {
 func (p PeriodCounts) Total() int { return p.History + p.Observed }
 
 // periodCounts returns every pair's Table V cell for one split year,
-// indexed by position in osmap.AllPairs().
+// indexed by position in the study's Pairs().
 func (s *Study) periodCounts(splitYear int) []PeriodCounts {
 	return s.cached(ckey{q: qPeriods, a: splitYear}, func() any {
-		if s.isParallel() {
+		switch {
+		case s.useBitset():
+			return s.periodsBitset(splitYear)
+		case s.isParallel():
 			return s.periodsParallel(splitYear)
+		default:
+			out := make([]PeriodCounts, len(s.pairs))
+			for i, p := range s.pairs {
+				out[i] = s.periodSplitSerial(p, splitYear)
+			}
+			return out
 		}
-		out := make([]PeriodCounts, len(s.pairs))
-		for i, p := range s.pairs {
-			out[i] = s.periodSplitSerial(p, splitYear)
-		}
-		return out
 	}).([]PeriodCounts)
 }
 
@@ -534,11 +614,15 @@ func (s *Study) PeriodSplit(p osmap.Pair, splitYear int) PeriodCounts {
 }
 
 func (s *Study) periodSplitSerial(p osmap.Pair, splitYear int) PeriodCounts {
-	both := s.bit[p.A] | s.bit[p.B]
+	ia, oka := s.index[p.A]
+	ib, okb := s.index[p.B]
 	var out PeriodCounts
+	if !oka || !okb {
+		return out
+	}
 	for i := range s.records {
 		r := &s.records[i]
-		if r.mask&both != both || !r.matches(IsolatedThinServer) {
+		if !r.mask.Has(ia) || !r.mask.Has(ib) || !r.matches(IsolatedThinServer) {
 			continue
 		}
 		if r.year <= splitYear {
@@ -558,10 +642,14 @@ func (s *Study) TemporalSeries(d osmap.Distro) map[int]int {
 		return s.temporalSerial(d)
 	}
 	v := s.cached(ckey{q: qTemporal, a: idx}, func() any {
-		if s.isParallel() {
+		switch {
+		case s.useBitset():
+			return s.temporalBitset(idx)
+		case s.isParallel():
 			return s.temporalParallel(d)
+		default:
+			return s.temporalSerial(d)
 		}
-		return s.temporalSerial(d)
 	}).(map[int]int)
 	out := make(map[int]int, len(v))
 	for k, n := range v {
@@ -586,39 +674,33 @@ func (s *Study) YearRange() (lo, hi int) {
 	if len(s.records) == 0 {
 		return 0, 0
 	}
-	lo, hi = s.records[0].year, s.records[0].year
-	for i := range s.records {
-		y := s.records[i].year
-		if y < lo {
-			lo = y
-		}
-		if y > hi {
-			hi = y
-		}
-	}
-	return lo, hi
+	// Records are sorted by year at ingestion.
+	return s.records[0].year, s.records[len(s.records)-1].year
 }
 
 // KWiseClusters counts, for each set size k, the number of distinct
-// valid vulnerabilities affecting at least k of the 11 distributions
-// under the profile.
+// valid vulnerabilities affecting at least k distributions of the
+// universe under the profile.
 func (s *Study) KWiseClusters(profile Profile) map[int]int {
 	v := s.cached(ckey{q: qKWiseClusters, profile: profile}, func() any {
-		if s.isParallel() {
+		switch {
+		case s.useBitset():
+			return s.kwiseClustersBitset(profile)
+		case s.isParallel():
 			return s.kwiseClustersParallel(profile)
-		}
-		out := make(map[int]int)
-		for i := range s.records {
-			r := &s.records[i]
-			if !r.matches(profile) {
-				continue
+		default:
+			out := make(map[int]int)
+			for i := range s.records {
+				r := &s.records[i]
+				if !r.matches(profile) {
+					continue
+				}
+				for k := 2; k <= r.nos; k++ {
+					out[k]++
+				}
 			}
-			n := popcount(r.mask)
-			for k := 2; k <= n; k++ {
-				out[k]++
-			}
+			return out
 		}
-		return out
 	}).(map[int]int)
 	out := make(map[int]int, len(v))
 	for k, n := range v {
@@ -632,20 +714,24 @@ func (s *Study) KWiseClusters(profile Profile) map[int]int {
 // six- and nine-OS vulnerabilities).
 func (s *Study) KWiseProducts(profile Profile) map[int]int {
 	v := s.cached(ckey{q: qKWiseProducts, profile: profile}, func() any {
-		if s.isParallel() {
+		switch {
+		case s.useBitset():
+			return s.kwiseProductsBitset(profile)
+		case s.isParallel():
 			return s.kwiseProductsParallel(profile)
-		}
-		out := make(map[int]int)
-		for i := range s.records {
-			r := &s.records[i]
-			if !r.matches(profile) {
-				continue
+		default:
+			out := make(map[int]int)
+			for i := range s.records {
+				r := &s.records[i]
+				if !r.matches(profile) {
+					continue
+				}
+				for k := 2; k <= r.products; k++ {
+					out[k]++
+				}
 			}
-			for k := 2; k <= r.products; k++ {
-				out[k]++
-			}
+			return out
 		}
-		return out
 	}).(map[int]int)
 	out := make(map[int]int, len(v))
 	for k, n := range v {
@@ -655,24 +741,17 @@ func (s *Study) KWiseProducts(profile Profile) map[int]int {
 }
 
 // MostSharedEntries returns the valid entries affecting the most OS
-// products, descending, limited to n.
+// products, descending (ties by CVE ID), limited to n. The full order is
+// computed once through the engine's bucket sort (see bitset.go) and
+// memoized, so repeated calls at any n are slice lookups.
 func (s *Study) MostSharedEntries(n int) []*cve.Entry {
-	recs := make([]*record, 0, len(s.records))
-	for i := range s.records {
-		recs = append(recs, &s.records[i])
-	}
-	sort.SliceStable(recs, func(i, j int) bool {
-		if recs[i].products != recs[j].products {
-			return recs[i].products > recs[j].products
-		}
-		return recs[i].entry.ID.Less(recs[j].entry.ID)
-	})
-	if n > len(recs) {
-		n = len(recs)
+	order := s.mostSharedOrder()
+	if n > len(order) {
+		n = len(order)
 	}
 	out := make([]*cve.Entry, n)
 	for i := 0; i < n; i++ {
-		out[i] = recs[i].entry
+		out[i] = s.records[order[i]].entry
 	}
 	return out
 }
@@ -681,15 +760,16 @@ func (s *Study) MostSharedEntries(n int) []*cve.Entry {
 // pairwise overlap going from one profile to another, over pairs with a
 // non-zero baseline.
 func (s *Study) FilterReduction(from, to Profile) float64 {
+	fromCounts := s.pairCounts(from)
+	toCounts := s.pairCounts(to)
 	var sum float64
 	n := 0
-	for _, p := range osmap.AllPairs() {
-		base := s.Overlap(p, from)
+	for i := range s.pairs {
+		base := fromCounts[i]
 		if base == 0 {
 			continue
 		}
-		reduced := s.Overlap(p, to)
-		sum += float64(base-reduced) / float64(base)
+		sum += float64(base-toCounts[i]) / float64(base)
 		n++
 	}
 	if n == 0 {
@@ -700,8 +780,28 @@ func (s *Study) FilterReduction(from, to Profile) float64 {
 
 // ReleaseOverlap counts valid Isolated-Thin-Server vulnerabilities that
 // affect both named (distribution, version) releases, deriving release
-// membership from the CPE version fields (Table VI).
+// membership from the CPE version fields (Table VI). The bitset engine
+// answers from memoized per-release posting bitsets; the scan engine
+// shards the record walk across the worker pool.
 func (s *Study) ReleaseOverlap(da osmap.Distro, va string, db osmap.Distro, vb string) int {
+	if s.useBitset() {
+		return s.releaseOverlapBitset(da, va, db, vb)
+	}
+	if s.isParallel() {
+		n := reduceShards(s.workers(), s.records,
+			func() *int { return new(int) },
+			func(a *int, shard []record) {
+				for i := range shard {
+					r := &shard[i]
+					if r.matches(IsolatedThinServer) &&
+						s.affectsRelease(r, da, va) && s.affectsRelease(r, db, vb) {
+						*a++
+					}
+				}
+			},
+			func(dst, src *int) { *dst += *src })
+		return *n
+	}
 	n := 0
 	for i := range s.records {
 		r := &s.records[i]
@@ -740,12 +840,10 @@ func (s *Study) Vulnerabilities(profile Profile) []VulnRef {
 		if !r.matches(profile) {
 			continue
 		}
-		ref := VulnRef{ID: r.entry.ID}
-		for _, d := range osmap.Distros() {
-			if s.affects(r, d) {
-				ref.Distros = append(ref.Distros, d)
-			}
-		}
+		ref := VulnRef{ID: r.entry.ID, Distros: make([]osmap.Distro, 0, r.nos)}
+		r.mask.ForEachBit(func(b int) {
+			ref.Distros = append(ref.Distros, s.distros[b])
+		})
 		out = append(out, ref)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
@@ -756,12 +854,4 @@ func (s *Study) Vulnerabilities(profile Profile) []VulnRef {
 func (s *Study) Describe() string {
 	return fmt.Sprintf("study: %d valid, %d removed, %d skipped entries",
 		len(s.records), len(s.invalid), s.skipped)
-}
-
-func popcount(x uint16) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
 }

@@ -1,0 +1,113 @@
+package corpus
+
+import (
+	"testing"
+
+	"osdiversity/internal/classify"
+	"osdiversity/internal/cve"
+)
+
+func TestSyntheticDeterministicAcrossWorkers(t *testing.T) {
+	cfg := SyntheticConfig{Entries: 5000, Distros: 32, Seed: 7}
+	a, err := GenerateSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	b, err := GenerateSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.Entries), len(b.Entries))
+	}
+	for i := range a.Entries {
+		ea, eb := a.Entries[i], b.Entries[i]
+		if ea.ID != eb.ID || ea.Summary != eb.Summary || !ea.Published.Equal(eb.Published) ||
+			len(ea.Products) != len(eb.Products) {
+			t.Fatalf("entry %d differs across worker counts: %v vs %v", i, ea.ID, eb.ID)
+		}
+	}
+}
+
+func TestSyntheticSeedChangesCorpus(t *testing.T) {
+	a, err := GenerateSynthetic(SyntheticConfig{Entries: 500, Distros: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSynthetic(SyntheticConfig{Entries: 500, Distros: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Entries {
+		if a.Entries[i].Summary == b.Entries[i].Summary {
+			same++
+		}
+	}
+	if same == len(a.Entries) {
+		t.Fatal("different seeds produced an identical corpus")
+	}
+}
+
+func TestSyntheticEntriesAreWellFormed(t *testing.T) {
+	sc, err := GenerateSynthetic(SyntheticConfig{Entries: 3000, Distros: 32, Seed: 11, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Entries) != 3000 {
+		t.Fatalf("got %d entries", len(sc.Entries))
+	}
+	seen := make(map[cve.ID]bool, len(sc.Entries))
+	clustered := 0
+	multi := 0
+	invalid := 0
+	for _, e := range sc.Entries {
+		if err := e.Validate(); err != nil {
+			t.Fatalf("invalid entry: %v", err)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate ID %v", e.ID)
+		}
+		seen[e.ID] = true
+		if y := e.Year(); y < 2002 || y > 2025 {
+			t.Fatalf("year %d out of window", y)
+		}
+		distros := map[string]bool{}
+		for _, p := range e.Products {
+			if d, ok := sc.Registry.Cluster(p); ok {
+				distros[d.String()] = true
+			}
+		}
+		if len(distros) > 0 {
+			clustered++
+		}
+		if len(distros) > 1 {
+			multi++
+		}
+		if classify.EntryValidity(e) != classify.Valid {
+			invalid++
+		}
+	}
+	if clustered != len(sc.Entries) {
+		t.Fatalf("%d entries have no clustered product", len(sc.Entries)-clustered)
+	}
+	if multi == 0 {
+		t.Fatal("no multi-distro entries: overlap tables would be empty")
+	}
+	if invalid == 0 {
+		t.Fatal("no invalid entries: validity table would be trivial")
+	}
+}
+
+func TestSyntheticConfigValidation(t *testing.T) {
+	if _, err := GenerateSynthetic(SyntheticConfig{Entries: -1}); err == nil {
+		t.Fatal("negative entries accepted")
+	}
+	if _, err := GenerateSynthetic(SyntheticConfig{Entries: 10, Distros: 1}); err == nil {
+		t.Fatal("1-distro universe accepted")
+	}
+	if _, err := GenerateSynthetic(SyntheticConfig{Entries: 10, FromYear: 2020, ToYear: 2010}); err == nil {
+		t.Fatal("empty year window accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package osmap
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Mask is a variable-width distro bitmask: bit i set means the entry
+// affects the i-th distribution of the owning registry's universe (see
+// Registry.Distros). It replaces the fixed uint16 record mask so the
+// engine supports arbitrarily many distributions. The zero value is an
+// empty mask of width 0; NewMask sizes one for a universe.
+type Mask []uint64
+
+// maskWords returns the number of 64-bit words covering nBits.
+func maskWords(nBits int) int { return (nBits + 63) / 64 }
+
+// NewMask returns an empty mask wide enough for nBits bit positions.
+func NewMask(nBits int) Mask { return make(Mask, maskWords(nBits)) }
+
+// Set sets bit i. The mask must already be wide enough.
+func (m Mask) Set(i int) { m[i>>6] |= 1 << uint(i&63) }
+
+// Has reports whether bit i is set. Out-of-range bits read as unset.
+func (m Mask) Has(i int) bool {
+	w := i >> 6
+	return w < len(m) && m[w]&(1<<uint(i&63)) != 0
+}
+
+// OnesCount returns the number of set bits.
+func (m Mask) OnesCount() int {
+	n := 0
+	for _, w := range m {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Equal reports whether the two masks have the same set bits, ignoring
+// trailing zero words.
+func (m Mask) Equal(o Mask) bool {
+	long, short := m, o
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i := range short {
+		if long[i] != short[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bits writes the indices of the set bits into dst in ascending order and
+// returns how many it wrote. dst must have capacity for OnesCount()
+// indices.
+func (m Mask) Bits(dst []int) int {
+	n := 0
+	for wi, w := range m {
+		base := wi << 6
+		for ; w != 0; w &= w - 1 {
+			dst[n] = base + bits.TrailingZeros64(w)
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachBit calls fn with every set bit index in ascending order.
+func (m Mask) ForEachBit(fn func(i int)) {
+	for wi, w := range m {
+		base := wi << 6
+		for ; w != 0; w &= w - 1 {
+			fn(base + bits.TrailingZeros64(w))
+		}
+	}
+}
+
+// String renders the mask as a set of bit indices, for diagnostics.
+func (m Mask) String() string {
+	out := "{"
+	first := true
+	m.ForEachBit(func(i int) {
+		if !first {
+			out += ","
+		}
+		out += fmt.Sprint(i)
+		first = false
+	})
+	return out + "}"
+}

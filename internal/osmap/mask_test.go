@@ -1,0 +1,124 @@
+package osmap
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMaskBasicOps(t *testing.T) {
+	m := NewMask(200)
+	if len(m) != 4 {
+		t.Fatalf("NewMask(200) has %d words, want 4", len(m))
+	}
+	if m.OnesCount() != 0 {
+		t.Fatal("fresh mask not empty")
+	}
+	idxs := []int{0, 63, 64, 127, 128, 199}
+	for _, i := range idxs {
+		m.Set(i)
+	}
+	for _, i := range idxs {
+		if !m.Has(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if m.Has(1) || m.Has(62) || m.Has(129) || m.Has(400) {
+		t.Fatal("unexpected bit set")
+	}
+	if m.OnesCount() != len(idxs) {
+		t.Fatalf("OnesCount = %d, want %d", m.OnesCount(), len(idxs))
+	}
+
+	got := make([]int, m.OnesCount())
+	if n := m.Bits(got); n != len(idxs) {
+		t.Fatalf("Bits wrote %d, want %d", n, len(idxs))
+	}
+	if !reflect.DeepEqual(got, idxs) {
+		t.Fatalf("Bits = %v, want %v", got, idxs)
+	}
+	var walked []int
+	m.ForEachBit(func(i int) { walked = append(walked, i) })
+	if !reflect.DeepEqual(walked, idxs) {
+		t.Fatalf("ForEachBit = %v, want %v", walked, idxs)
+	}
+}
+
+func TestMaskEqual(t *testing.T) {
+	a := NewMask(128)
+	for _, i := range []int{3, 70, 100} {
+		a.Set(i)
+	}
+	// Width-mismatched comparisons: trailing zero words are ignored.
+	wide := NewMask(256)
+	wide.Set(3)
+	wide.Set(70)
+	wide.Set(100)
+	if !a.Equal(wide) || !wide.Equal(a) {
+		t.Fatal("Equal should ignore trailing zero words")
+	}
+	wide.Set(200)
+	if a.Equal(wide) || wide.Equal(a) {
+		t.Fatal("bit 200 must break equality")
+	}
+	b := NewMask(128)
+	b.Set(3)
+	if a.Equal(b) {
+		t.Fatal("different masks compare equal")
+	}
+}
+
+func TestSyntheticDistros(t *testing.T) {
+	d := SyntheticDistro(7)
+	if !d.IsSynthetic() {
+		t.Fatal("SyntheticDistro not synthetic")
+	}
+	if d.String() != "SynOS007" {
+		t.Fatalf("String = %q", d.String())
+	}
+	parsed, err := ParseDistro("SynOS007")
+	if err != nil || parsed != d {
+		t.Fatalf("ParseDistro(SynOS007) = %v, %v", parsed, err)
+	}
+	if d.Family() == FamilyUnknown {
+		t.Fatal("synthetic distro has no family")
+	}
+	if y := d.FirstReleaseYear(); y < 1993 || y > 2008 {
+		t.Fatalf("FirstReleaseYear = %d", y)
+	}
+	if _, err := ParseDistro("SynOS9999"); err == nil {
+		t.Fatal("out-of-range synthetic name parsed")
+	}
+}
+
+func TestSyntheticRegistry(t *testing.T) {
+	r := NewSyntheticRegistry(32)
+	ds := r.Distros()
+	if len(ds) != 32 || r.UniverseSize() != 32 {
+		t.Fatalf("universe size %d, want 32", len(ds))
+	}
+	// The first 11 are the paper's distros, in presentation order.
+	if !reflect.DeepEqual(ds[:NumDistros], Distros()) {
+		t.Fatalf("first 11 = %v", ds[:NumDistros])
+	}
+	for _, d := range ds {
+		canon := r.CanonicalName(d)
+		if canon.Product == "" {
+			t.Fatalf("%v has no canonical CPE", d)
+		}
+		got, ok := r.Cluster(canon)
+		if !ok || got != d {
+			t.Fatalf("canonical CPE of %v clusters to %v, %v", d, got, ok)
+		}
+		if len(r.Releases(d)) == 0 {
+			t.Fatalf("%v has no releases", d)
+		}
+	}
+	// Default registry still reports the paper's universe.
+	if def := NewRegistry(); def.UniverseSize() != NumDistros {
+		t.Fatalf("default universe size %d", def.UniverseSize())
+	}
+	// Narrow universes truncate the paper's list.
+	if narrow := NewSyntheticRegistry(5); len(narrow.Distros()) != 5 {
+		t.Fatalf("narrow universe size %d", len(narrow.Distros()))
+	}
+}

@@ -39,6 +39,32 @@ const (
 // NumDistros is the number of real distributions (excluding DistroUnknown).
 const NumDistros = 11
 
+// syntheticBase is the first Distro value reserved for synthetic
+// distributions (see SyntheticDistro). The gap above the 11 studied
+// distributions leaves room for future real clusters.
+const syntheticBase Distro = 64
+
+// maxSyntheticDistros bounds the synthetic universe so masks and pair
+// tables stay within sane memory.
+const maxSyntheticDistros = 1024
+
+// SyntheticDistro returns the i-th synthetic distribution (i >= 0).
+// Synthetic distributions model the "modern NVD" universe: they have
+// generated names ("SynOS000", ...), round-robin families, staggered
+// first releases, and exist only in registries built by
+// NewSyntheticRegistry.
+func SyntheticDistro(i int) Distro {
+	if i < 0 || i >= maxSyntheticDistros {
+		panic(fmt.Sprintf("osmap: synthetic distro index %d out of range", i))
+	}
+	return syntheticBase + Distro(i)
+}
+
+// IsSynthetic reports whether the distribution is a synthetic one.
+func (d Distro) IsSynthetic() bool {
+	return d >= syntheticBase && d < syntheticBase+maxSyntheticDistros
+}
+
 // Distros returns the 11 distributions in presentation order.
 func Distros() []Distro {
 	return []Distro{
@@ -73,17 +99,26 @@ func (d Distro) String() string {
 	case Windows2008:
 		return "Windows2008"
 	default:
+		if d.IsSynthetic() {
+			return fmt.Sprintf("SynOS%03d", int(d-syntheticBase))
+		}
 		return "Unknown"
 	}
 }
 
 // ParseDistro resolves a display name (case-sensitive, as printed by
-// String) back to a Distro.
+// String) back to a Distro. Synthetic names ("SynOS007") resolve to the
+// corresponding synthetic distribution.
 func ParseDistro(s string) (Distro, error) {
 	for _, d := range Distros() {
 		if d.String() == s {
 			return d, nil
 		}
+	}
+	var i int
+	if n, err := fmt.Sscanf(s, "SynOS%03d", &i); err == nil && n == 1 &&
+		i >= 0 && i < maxSyntheticDistros && s == SyntheticDistro(i).String() {
+		return SyntheticDistro(i), nil
 	}
 	return DistroUnknown, fmt.Errorf("osmap: unknown distribution %q", s)
 }
@@ -133,6 +168,11 @@ func (d Distro) Family() Family {
 	case Windows2000, Windows2003, Windows2008:
 		return FamilyWindows
 	default:
+		if d.IsSynthetic() {
+			// Synthetic distributions rotate through the four families so
+			// family-aware analyses stay meaningful at any universe size.
+			return Families()[int(d-syntheticBase)%len(Families())]
+		}
 		return FamilyUnknown
 	}
 }
@@ -176,6 +216,10 @@ func (d Distro) FirstReleaseYear() int {
 	case Windows2008:
 		return 2008
 	default:
+		if d.IsSynthetic() {
+			// Stagger synthetic launches through the 1993-2008 window.
+			return 1993 + int(d-syntheticBase)%16
+		}
 		return 0
 	}
 }
@@ -261,12 +305,17 @@ type aliasKey struct {
 }
 
 // Registry resolves NVD product names to distributions and records
-// release timelines. Construct with NewRegistry; the zero value has no
-// aliases and resolves nothing.
+// release timelines. It also owns the distro universe of a study: the
+// ordered distribution list analyses iterate and index bitmasks by.
+// Construct with NewRegistry (the paper's 11-distro universe) or
+// NewSyntheticRegistry (an arbitrarily wide "modern NVD" universe); the
+// zero value has no aliases and resolves nothing.
 type Registry struct {
-	aliases  map[aliasKey]Distro
-	known    map[aliasKey]bool // products we recognise but do not cluster
-	releases map[Distro][]Release
+	aliases   map[aliasKey]Distro
+	known     map[aliasKey]bool // products we recognise but do not cluster
+	releases  map[Distro][]Release
+	canonical map[Distro]cpe.Name
+	distros   []Distro // the universe, in presentation order
 }
 
 // NewRegistry returns the study's registry: the full alias table covering
@@ -274,12 +323,17 @@ type Registry struct {
 // remain outside the 11 clusters, and the release timelines.
 func NewRegistry() *Registry {
 	r := &Registry{
-		aliases:  make(map[aliasKey]Distro, 64),
-		known:    make(map[aliasKey]bool, 16),
-		releases: make(map[Distro][]Release, NumDistros),
+		aliases:   make(map[aliasKey]Distro, 64),
+		known:     make(map[aliasKey]bool, 16),
+		releases:  make(map[Distro][]Release, NumDistros),
+		canonical: make(map[Distro]cpe.Name, NumDistros),
+		distros:   Distros(),
 	}
 	for _, a := range defaultAliases {
 		r.aliases[aliasKey{a.vendor, a.product}] = a.distro
+		if a.canonical {
+			r.canonical[a.distro] = cpe.Name{Part: cpe.PartOS, Vendor: a.vendor, Product: a.product}
+		}
 	}
 	for _, k := range unclusteredProducts {
 		r.known[aliasKey{k.vendor, k.product}] = true
@@ -292,6 +346,63 @@ func NewRegistry() *Registry {
 		sort.Slice(rel, func(i, j int) bool { return rel[i].Year < rel[j].Year })
 	}
 	return r
+}
+
+// NewSyntheticRegistry returns a registry over an n-distro universe
+// modeling a modern, wider NVD. The first min(n, 11) distributions are
+// the paper's real clusters with their full alias tables; the remainder
+// are synthetic distributions, each with one canonical (vendor, product)
+// registration, one duplicate spelling (mirroring NVD's messy vendor
+// strings), and a three-release timeline. n must be at least 2.
+func NewSyntheticRegistry(n int) *Registry {
+	if n < 2 {
+		panic(fmt.Sprintf("osmap: synthetic universe needs at least 2 distros, got %d", n))
+	}
+	if n > maxSyntheticDistros {
+		panic(fmt.Sprintf("osmap: synthetic universe capped at %d distros, got %d", maxSyntheticDistros, n))
+	}
+	r := NewRegistry()
+	if n <= NumDistros {
+		r.distros = Distros()[:n]
+		return r
+	}
+	for i := 0; NumDistros+i < n; i++ {
+		d := SyntheticDistro(i)
+		canon := cpe.Name{
+			Part:    cpe.PartOS,
+			Vendor:  fmt.Sprintf("synvendor%03d", i),
+			Product: fmt.Sprintf("synos%03d", i),
+		}
+		r.aliases[aliasKey{canon.Vendor, canon.Product}] = d
+		r.aliases[aliasKey{canon.Vendor + "_inc", canon.Product}] = d
+		r.canonical[d] = canon
+		first := d.FirstReleaseYear()
+		r.releases[d] = []Release{
+			{d, "1.0", first},
+			{d, "2.0", first + 5},
+			{d, "3.0", first + 10},
+		}
+		r.distros = append(r.distros, d)
+	}
+	return r
+}
+
+// Distros returns the registry's distro universe in presentation order.
+// The default registry's universe is the paper's 11 distributions; the
+// returned slice is a copy.
+func (r *Registry) Distros() []Distro {
+	if r == nil || len(r.distros) == 0 {
+		return Distros()
+	}
+	return append([]Distro(nil), r.distros...)
+}
+
+// UniverseSize returns the number of distributions in the universe.
+func (r *Registry) UniverseSize() int {
+	if r == nil || len(r.distros) == 0 {
+		return NumDistros
+	}
+	return len(r.distros)
 }
 
 // Cluster maps a CPE name to its distribution. The second result is false
@@ -343,12 +454,10 @@ func (r *Registry) Aliases(d Distro) []cpe.Name {
 // CanonicalName returns the canonical CPE name used when generating feed
 // entries for the distribution.
 func (r *Registry) CanonicalName(d Distro) cpe.Name {
-	for _, a := range defaultAliases {
-		if a.distro == d && a.canonical {
-			return cpe.Name{Part: cpe.PartOS, Vendor: a.vendor, Product: a.product}
-		}
+	if r == nil {
+		return cpe.Name{}
 	}
-	return cpe.Name{}
+	return r.canonical[d]
 }
 
 // Releases returns the recorded releases of a distribution in

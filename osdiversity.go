@@ -40,7 +40,9 @@ import (
 type Option func(*config)
 
 type config struct {
-	workers int
+	workers  int
+	engine   Engine
+	universe int // > 0 selects a synthetic n-distro universe for LoadFeeds
 }
 
 // WithParallelism sets the worker count used throughout the pipeline:
@@ -56,12 +58,48 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// Engine selects the analysis execution engine.
+type Engine int
+
+// The two engines. Both produce byte-identical tables; the bitset
+// engine answers from a columnar posting-bitset index and is the
+// default.
+const (
+	EngineBitset Engine = iota
+	EngineScan
+)
+
+// WithEngine selects the execution engine for the table queries (the
+// default is EngineBitset; EngineScan is the record-walk reference).
+func WithEngine(e Engine) Option {
+	return func(c *config) { c.engine = e }
+}
+
+// WithSyntheticUniverse makes LoadFeeds resolve products against the
+// n-distro synthetic registry (as written by GenerateSyntheticFeeds)
+// instead of the paper's 11-distro registry.
+func WithSyntheticUniverse(n int) Option {
+	return func(c *config) { c.universe = n }
+}
+
 func newConfig(opts []Option) config {
 	c := config{workers: 1}
 	for _, opt := range opts {
 		opt(&c)
 	}
 	return c
+}
+
+// studyOptions translates the facade config into core options.
+func (c config) studyOptions() []core.Option {
+	opts := []core.Option{core.WithParallelism(c.workers)}
+	if c.engine == EngineScan {
+		opts = append(opts, core.WithEngine(core.EngineScan))
+	}
+	if c.universe > 0 {
+		opts = append(opts, core.WithRegistry(osmap.NewSyntheticRegistry(c.universe)))
+	}
+	return opts
 }
 
 // OSNames returns the 11 distribution names of the study, in the paper's
@@ -95,11 +133,17 @@ func GenerateFeeds(dir string, opts ...Option) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	return writeFeedsByYear(dir, c.Entries, cfg.workers)
+}
+
+// writeFeedsByYear splits entries into per-year feed files (like NVD
+// distributes them), writing up to `workers` files concurrently.
+func writeFeedsByYear(dir string, entries []*cve.Entry, workers int) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("osdiversity: %w", err)
 	}
 	byYear := make(map[int][]*cve.Entry)
-	for _, e := range c.Entries {
+	for _, e := range entries {
 		byYear[e.Year()] = append(byYear[e.Year()], e)
 	}
 	years := make([]int, 0, len(byYear))
@@ -109,19 +153,19 @@ func GenerateFeeds(dir string, opts ...Option) ([]string, error) {
 	sort.Ints(years)
 	paths := make([]string, len(years))
 	errs := make([]error, len(years))
-	sem := make(chan struct{}, cfg.workers)
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, y := range years {
-		entries := byYear[y]
-		cve.SortEntries(entries)
+		yearEntries := byYear[y]
+		cve.SortEntries(yearEntries)
 		paths[i] = filepath.Join(dir, fmt.Sprintf("nvdcve-2.0-%d.xml.gz", y))
 		wg.Add(1)
-		go func(i, y int, entries []*cve.Entry) {
+		go func(i, y int, yearEntries []*cve.Entry) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			errs[i] = nvdfeed.WriteFile(paths[i], fmt.Sprintf("CVE-%d", y), entries)
-		}(i, y, entries)
+			errs[i] = nvdfeed.WriteFile(paths[i], fmt.Sprintf("CVE-%d", y), yearEntries)
+		}(i, y, yearEntries)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -146,7 +190,7 @@ func LoadFeeds(paths []string, opts ...Option) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{study: core.NewStudy(entries, core.WithParallelism(cfg.workers))}, nil
+	return &Analysis{study: core.NewStudy(entries, cfg.studyOptions()...)}, nil
 }
 
 // LoadCalibrated builds the analysis directly over the calibrated
@@ -157,7 +201,55 @@ func LoadCalibrated(opts ...Option) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{study: core.NewStudy(c.Entries, core.WithParallelism(cfg.workers))}, nil
+	return &Analysis{study: core.NewStudy(c.Entries, cfg.studyOptions()...)}, nil
+}
+
+// SyntheticSpec parameterizes the synthetic "modern NVD" corpus: a
+// deterministic, seeded population of Entries vulnerabilities over a
+// Distros-wide universe (the paper's 11 clusters plus generated
+// distributions), published FromYear..ToYear. Zero fields select the
+// defaults (100k entries, 32 distros, 2002..2025).
+type SyntheticSpec struct {
+	Entries  int
+	Distros  int
+	Seed     uint64
+	FromYear int
+	ToYear   int
+}
+
+func (sp SyntheticSpec) corpusConfig(workers int) corpus.SyntheticConfig {
+	return corpus.SyntheticConfig{
+		Entries:  sp.Entries,
+		Distros:  sp.Distros,
+		Seed:     sp.Seed,
+		FromYear: sp.FromYear,
+		ToYear:   sp.ToYear,
+		Workers:  workers,
+	}
+}
+
+// LoadSynthetic generates the synthetic corpus and builds the analysis
+// over its universe, skipping the XML round trip.
+func LoadSynthetic(spec SyntheticSpec, opts ...Option) (*Analysis, error) {
+	cfg := newConfig(opts)
+	sc, err := corpus.GenerateSynthetic(spec.corpusConfig(cfg.workers))
+	if err != nil {
+		return nil, err
+	}
+	studyOpts := append(cfg.studyOptions(), core.WithRegistry(sc.Registry))
+	return &Analysis{study: core.NewStudy(sc.Entries, studyOpts...)}, nil
+}
+
+// GenerateSyntheticFeeds writes the synthetic corpus as per-year NVD 2.0
+// XML feeds into dir and returns the file paths. Reload them with
+// LoadFeeds(..., WithSyntheticUniverse(spec.Distros)).
+func GenerateSyntheticFeeds(dir string, spec SyntheticSpec, opts ...Option) ([]string, error) {
+	cfg := newConfig(opts)
+	sc, err := corpus.GenerateSynthetic(spec.corpusConfig(cfg.workers))
+	if err != nil {
+		return nil, err
+	}
+	return writeFeedsByYear(dir, sc.Entries, cfg.workers)
 }
 
 // ImportFeeds parses feeds into the paper's SQL schema and persists the
@@ -196,7 +288,18 @@ func LoadDatabase(dbPath string, opts ...Option) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{study: core.NewStudy(entries, core.WithParallelism(cfg.workers))}, nil
+	return &Analysis{study: core.NewStudy(entries, cfg.studyOptions()...)}, nil
+}
+
+// OSNames returns the distribution names of this analysis's universe in
+// presentation order (the paper's 11 for the default registry, more for
+// synthetic universes).
+func (a *Analysis) OSNames() []string {
+	var out []string
+	for _, d := range a.study.Distros() {
+		out = append(out, d.String())
+	}
+	return out
 }
 
 // ValidCount returns the number of distinct valid vulnerabilities.
@@ -257,18 +360,19 @@ type PairOverlap struct {
 	All, NoApp, Remote int
 }
 
-// PairwiseOverlaps reproduces Table III for all 55 pairs.
+// PairwiseOverlaps reproduces Table III over the universe's pairs (all
+// 55 for the paper's 11 distributions).
 func (a *Analysis) PairwiseOverlaps() []PairOverlap {
 	var out []PairOverlap
 	totals := make(map[osmap.Distro][3]int)
-	for _, d := range osmap.Distros() {
+	for _, d := range a.study.Distros() {
 		totals[d] = [3]int{
 			a.study.Total(d, core.FatServer),
 			a.study.Total(d, core.ThinServer),
 			a.study.Total(d, core.IsolatedThinServer),
 		}
 	}
-	for _, p := range osmap.AllPairs() {
+	for _, p := range a.study.Pairs() {
 		out = append(out, PairOverlap{
 			A: p.A.String(), B: p.B.String(),
 			TotalA: totals[p.A], TotalB: totals[p.B],
@@ -293,7 +397,7 @@ type PartRow struct {
 // non-zero overlap, broken down by component class, largest first.
 func (a *Analysis) PartBreakdowns() []PartRow {
 	var out []PartRow
-	for _, p := range osmap.AllPairs() {
+	for _, p := range a.study.Pairs() {
 		parts := a.study.PartBreakdown(p)
 		if parts.Total() == 0 {
 			continue
@@ -433,6 +537,7 @@ func (a *Analysis) SimulateAttack(name string, osNames []string, f, trials int) 
 		return AttackSummary{}, err
 	}
 	model := attack.NewModel(a.study, core.IsolatedThinServer)
+	model.SetParallelism(a.study.Parallelism())
 	sum, err := model.MonteCarlo(attack.Scenario{Name: name, F: f, OSes: ds}, trials)
 	if err != nil {
 		return AttackSummary{}, err
@@ -459,6 +564,7 @@ func (a *Analysis) DiversityGain(baselineOS string, diverse []string, f, trials 
 		homog[i] = base[0]
 	}
 	model := attack.NewModel(a.study, core.IsolatedThinServer)
+	model.SetParallelism(a.study.Parallelism())
 	return model.Gain(
 		attack.Scenario{Name: "homogeneous", F: f, OSes: homog},
 		attack.Scenario{Name: "diverse", F: f, OSes: ds},

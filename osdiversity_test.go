@@ -163,3 +163,64 @@ func TestAnalysisAttack(t *testing.T) {
 		t.Error("short scenario accepted")
 	}
 }
+
+func TestSyntheticFacade(t *testing.T) {
+	spec := SyntheticSpec{Entries: 4000, Distros: 16, Seed: 3}
+	a, err := LoadSynthetic(spec, WithParallelism(4))
+	if err != nil {
+		t.Fatalf("LoadSynthetic: %v", err)
+	}
+	names := a.OSNames()
+	if len(names) != 16 {
+		t.Fatalf("universe has %d names, want 16", len(names))
+	}
+	pairs := a.PairwiseOverlaps()
+	if want := 16 * 15 / 2; len(pairs) != want {
+		t.Fatalf("PairwiseOverlaps has %d rows, want %d", len(pairs), want)
+	}
+	if a.ValidCount() == 0 {
+		t.Fatal("synthetic analysis has no valid entries")
+	}
+
+	// The scan engine must agree with the default bitset engine.
+	b, err := LoadSynthetic(spec, WithEngine(EngineScan))
+	if err != nil {
+		t.Fatalf("LoadSynthetic(scan): %v", err)
+	}
+	bp := b.PairwiseOverlaps()
+	for i := range pairs {
+		if pairs[i] != bp[i] {
+			t.Fatalf("engines disagree on pair %s-%s: %+v vs %+v",
+				pairs[i].A, pairs[i].B, pairs[i], bp[i])
+		}
+	}
+}
+
+func TestSyntheticFeedRoundTrip(t *testing.T) {
+	spec := SyntheticSpec{Entries: 1500, Distros: 16, Seed: 9, FromYear: 2010, ToYear: 2014}
+	dir := t.TempDir()
+	paths, err := GenerateSyntheticFeeds(dir, spec, WithParallelism(2))
+	if err != nil {
+		t.Fatalf("GenerateSyntheticFeeds: %v", err)
+	}
+	if len(paths) != 5 {
+		t.Fatalf("wrote %d feeds, want 5 (one per year)", len(paths))
+	}
+	direct, err := LoadSynthetic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadFeeds(paths, WithSyntheticUniverse(spec.Distros), WithParallelism(2))
+	if err != nil {
+		t.Fatalf("LoadFeeds(synthetic): %v", err)
+	}
+	if direct.ValidCount() != reloaded.ValidCount() {
+		t.Fatalf("valid counts differ: direct %d, reloaded %d", direct.ValidCount(), reloaded.ValidCount())
+	}
+	dp, rp := direct.PairwiseOverlaps(), reloaded.PairwiseOverlaps()
+	for i := range dp {
+		if dp[i] != rp[i] {
+			t.Fatalf("pair %s-%s differs after XML round trip", dp[i].A, dp[i].B)
+		}
+	}
+}
