@@ -1,6 +1,7 @@
 // Command benchjson converts `go test -bench` output into a compact
 // JSON summary so the repository's performance trajectory is tracked
-// across PRs (the CI benchmark step writes BENCH_core.json with it).
+// across PRs (the CI benchmark steps write BENCH_core.json and
+// BENCH_relstore.json with it).
 //
 // Usage:
 //
@@ -8,7 +9,9 @@
 //
 // For every benchmark name ending in "Scan" with a "Bitset" sibling
 // (e.g. BenchmarkKWise100kScan / BenchmarkKWise100kBitset) the summary
-// also records the scan-over-bitset speedup factor.
+// records the scan-over-bitset speedup factor; likewise "Naive" /
+// "Planned" siblings (the relstore query-planner benchmarks) record
+// naive-over-planned.
 package main
 
 import (
@@ -26,7 +29,7 @@ import (
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
 
-// summary is the BENCH_core.json document.
+// summary is the benchmark summary document.
 type summary struct {
 	// Note says how to regenerate the file.
 	Note string `json:"note"`
@@ -35,7 +38,21 @@ type summary struct {
 	NsPerOp map[string]float64 `json:"ns_per_op"`
 	// Speedups maps "<Name>" to scan/bitset ns ratios for benchmark
 	// pairs named <Name>Scan / <Name>Bitset.
-	Speedups map[string]float64 `json:"speedup_scan_over_bitset"`
+	Speedups map[string]float64 `json:"speedup_scan_over_bitset,omitempty"`
+	// PlanSpeedups maps "<Name>" to naive/planned ns ratios for
+	// benchmark pairs named <Name>Naive / <Name>Planned (the relstore
+	// query planner against its pre-planner baseline).
+	PlanSpeedups map[string]float64 `json:"speedup_naive_over_planned,omitempty"`
+}
+
+// speedupPairs names the benchmark suffix conventions the summary
+// derives ratios from.
+var speedupPairs = []struct {
+	slow, fast string
+	dst        func(*summary) map[string]float64
+}{
+	{"Scan", "Bitset", func(s *summary) map[string]float64 { return s.Speedups }},
+	{"Naive", "Planned", func(s *summary) map[string]float64 { return s.PlanSpeedups }},
 }
 
 func main() {
@@ -70,24 +87,33 @@ func main() {
 	}
 
 	doc := summary{
-		Note:     "ns/op per benchmark; regenerate with: go test -run xxx -bench . -benchtime=1x . | go run ./cmd/benchjson",
-		NsPerOp:  make(map[string]float64, len(samples)),
-		Speedups: make(map[string]float64),
+		Note:         "ns/op per benchmark; regenerate with: go test -run xxx -bench . -benchtime=1x <packages> | go run ./cmd/benchjson -out <file> (see the CI workflow for each file's package list)",
+		NsPerOp:      make(map[string]float64, len(samples)),
+		Speedups:     make(map[string]float64),
+		PlanSpeedups: make(map[string]float64),
 	}
 	for name, ns := range samples {
 		sort.Float64s(ns)
 		doc.NsPerOp[name] = ns[len(ns)/2]
 	}
 	for name, ns := range doc.NsPerOp {
-		base, ok := strings.CutSuffix(name, "Scan")
-		if !ok {
-			continue
+		for _, pair := range speedupPairs {
+			base, ok := strings.CutSuffix(name, pair.slow)
+			if !ok {
+				continue
+			}
+			fast, ok := doc.NsPerOp[base+pair.fast]
+			if !ok || fast == 0 {
+				continue
+			}
+			pair.dst(&doc)[base] = round2(ns / fast)
 		}
-		bitset, ok := doc.NsPerOp[base+"Bitset"]
-		if !ok || bitset == 0 {
-			continue
-		}
-		doc.Speedups[base] = round2(ns / bitset)
+	}
+	if len(doc.Speedups) == 0 {
+		doc.Speedups = nil
+	}
+	if len(doc.PlanSpeedups) == 0 {
+		doc.PlanSpeedups = nil
 	}
 
 	enc, err := json.MarshalIndent(doc, "", "  ")

@@ -5,6 +5,10 @@
 // Usage:
 //
 //	nvdimport -db study.db feeds/nvdcve-2.0-*.xml.gz
+//
+// With -table3 the import finishes by running the grouped pairwise
+// SQL query (the paper's Table III v(AB) matrix) against the freshly
+// written database, as a smoke test of the SQL path.
 package main
 
 import (
@@ -20,10 +24,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nvdimport: ")
 	db := flag.String("db", "study.db", "path of the database file to write")
-	workers := flag.Int("workers", 1, "worker count for decoding and ingestion (0 = all CPUs)")
+	workers := flag.Int("workers", 1, "worker count for decoding, ingestion and SQL probes (0 = all CPUs)")
+	table3 := flag.Bool("table3", false, "after importing, print the Table III pairwise matrix via the SQL engine")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: nvdimport [-db study.db] [-workers n] feed.xml[.gz]...")
+		fmt.Fprintln(os.Stderr, "usage: nvdimport [-db study.db] [-workers n] [-table3] feed.xml[.gz]...")
 		os.Exit(2)
 	}
 
@@ -33,4 +38,14 @@ func main() {
 	}
 	fmt.Printf("imported %d entries (%d skipped: no clustered OS product) into %s\n",
 		stored, skipped, *db)
+
+	if *table3 {
+		cells, err := osdiversity.SQLPairwiseShared(*db, osdiversity.WithParallelism(*workers))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range cells {
+			fmt.Printf("%s-%s\t%d\n", c.A, c.B, c.Shared)
+		}
+	}
 }

@@ -14,6 +14,8 @@
 //	select    rank replica sets on history data (§IV-C)
 //	releases  print the per-release overlap study (Table VI)
 //	simulate  run the attack simulation extension (E12)
+//	sqltable3 print the Table III matrix computed by the SQL engine
+//	          (requires -db; one grouped hash-join plan, no Study)
 package main
 
 import (
@@ -43,6 +45,14 @@ func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
+	}
+
+	// sqltable3 runs against the database directly — no Study needed.
+	if flag.Arg(0) == "sqltable3" {
+		if err := runSQLTable3(*db, *workers); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	a, err := loadAnalysis(loadConfig{
@@ -76,8 +86,26 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir | -synthetic n] [-workers n] [-engine bitset|scan] tables|figures|kwise|select|releases|simulate [options]")
+	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir | -synthetic n] [-workers n] [-engine bitset|scan] tables|figures|kwise|select|releases|simulate|sqltable3 [options]")
 	os.Exit(2)
+}
+
+// runSQLTable3 prints the Table III v(AB) matrix computed entirely by
+// the embedded SQL engine's grouped hash-join plan.
+func runSQLTable3(dbPath string, workers int) error {
+	if dbPath == "" {
+		return fmt.Errorf("sqltable3 needs -db (a database produced by nvdimport)")
+	}
+	cells, err := osdiversity.SQLPairwiseShared(dbPath, osdiversity.WithParallelism(workers))
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Table III via SQL — shared vulnerabilities per OS pair (one grouped join plan)",
+		"Pair", "v(AB)")
+	for _, c := range cells {
+		t.AddRowValues(c.A+"-"+c.B, c.Shared)
+	}
+	return t.WriteASCII(os.Stdout)
 }
 
 type loadConfig struct {

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"osdiversity"
 )
 
 // The smoke tests re-execute the test binary with GO_OSDIV_MAIN=1 so
@@ -115,6 +118,38 @@ func TestSubcommandsSmoke(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+func TestSQLTable3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates feeds and imports a database")
+	}
+	dir := t.TempDir()
+	feeds, err := osdiversity.GenerateFeeds(filepath.Join(dir, "feeds"), osdiversity.WithParallelism(4))
+	if err != nil {
+		t.Fatalf("GenerateFeeds: %v", err)
+	}
+	dbPath := filepath.Join(dir, "study.db")
+	if _, _, err := osdiversity.ImportFeeds(dbPath, feeds, osdiversity.WithParallelism(4)); err != nil {
+		t.Fatalf("ImportFeeds: %v", err)
+	}
+	stdout, stderr, code := runOsdiv(t, "-db", dbPath, "-workers", "4", "sqltable3")
+	if code != 0 {
+		t.Fatalf("sqltable3 exit code %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"Table III via SQL", "OpenBSD-NetBSD"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q\nstdout: %.2000s", want, stdout)
+		}
+	}
+
+	_, stderr, code = runOsdiv(t, "sqltable3")
+	if code == 0 {
+		t.Fatal("sqltable3 without -db succeeded, want failure")
+	}
+	if !strings.Contains(stderr, "needs -db") {
+		t.Errorf("stderr missing -db diagnostic: %s", stderr)
 	}
 }
 

@@ -234,7 +234,9 @@ func (s *Study) digest(e *cve.Entry, mask osmap.Mask) (record, bool) {
 		productSet[p.Vendor+"/"+p.Product] = true
 		if d, ok := s.registry.Cluster(p); ok {
 			if i, ok := s.index[d]; ok {
-				mask.Set(i)
+				// SetGrow keeps ingestion alive even if a registry ever
+				// maps a product to a distro beyond the universe width.
+				mask = mask.SetGrow(i)
 			}
 		}
 	}

@@ -18,8 +18,31 @@ func maskWords(nBits int) int { return (nBits + 63) / 64 }
 // NewMask returns an empty mask wide enough for nBits bit positions.
 func NewMask(nBits int) Mask { return make(Mask, maskWords(nBits)) }
 
-// Set sets bit i. The mask must already be wide enough.
+// Set sets bit i. The mask must already be wide enough; use SetGrow or
+// SetChecked when the index may exceed the mask's width.
 func (m Mask) Set(i int) { m[i>>6] |= 1 << uint(i&63) }
+
+// SetGrow sets bit i, widening the mask as needed, and returns the
+// (possibly reallocated) mask. This is the digestion-boundary form: a
+// feed entry referencing a distribution beyond the universe width grows
+// the mask instead of crashing ingestion. Negative indices panic.
+func (m Mask) SetGrow(i int) Mask {
+	for i>>6 >= len(m) {
+		m = append(m, 0)
+	}
+	m[i>>6] |= 1 << uint(i&63)
+	return m
+}
+
+// SetChecked sets bit i, returning an error instead of panicking when
+// the index falls outside the mask's width.
+func (m Mask) SetChecked(i int) error {
+	if i < 0 || i>>6 >= len(m) {
+		return fmt.Errorf("osmap: bit index %d out of range for %d-word mask", i, len(m))
+	}
+	m[i>>6] |= 1 << uint(i&63)
+	return nil
+}
 
 // Has reports whether bit i is set. Out-of-range bits read as unset.
 func (m Mask) Has(i int) bool {

@@ -43,6 +43,43 @@ func TestMaskBasicOps(t *testing.T) {
 	}
 }
 
+func TestMaskSetGrowAndChecked(t *testing.T) {
+	// Set on an out-of-range bit panics; the digestion boundary uses
+	// SetGrow (widening) or SetChecked (erroring) instead.
+	m := NewMask(64)
+	if err := m.SetChecked(63); err != nil {
+		t.Fatalf("SetChecked(63): %v", err)
+	}
+	if !m.Has(63) {
+		t.Fatal("SetChecked did not set the bit")
+	}
+	if err := m.SetChecked(64); err == nil {
+		t.Fatal("SetChecked(64) on a 1-word mask must error")
+	}
+	if err := m.SetChecked(-1); err == nil {
+		t.Fatal("SetChecked(-1) must error")
+	}
+
+	grown := m.SetGrow(130)
+	if len(grown) != 3 {
+		t.Fatalf("SetGrow(130) width = %d words, want 3", len(grown))
+	}
+	if !grown.Has(130) || !grown.Has(63) {
+		t.Fatal("SetGrow lost bits")
+	}
+	// In-range SetGrow keeps the same backing array.
+	same := grown.SetGrow(2)
+	if &same[0] != &grown[0] || !same.Has(2) {
+		t.Fatal("in-range SetGrow must not reallocate")
+	}
+	// The zero mask grows from nothing.
+	var zero Mask
+	zero = zero.SetGrow(70)
+	if !zero.Has(70) || zero.OnesCount() != 1 {
+		t.Fatalf("zero-mask SetGrow = %v", zero)
+	}
+}
+
 func TestMaskEqual(t *testing.T) {
 	a := NewMask(128)
 	for _, i := range []int{3, 70, 100} {

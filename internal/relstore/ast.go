@@ -1,5 +1,7 @@
 package relstore
 
+import "sync/atomic"
+
 // This file defines the statement and expression trees produced by the
 // parser and consumed by the executor.
 
@@ -148,6 +150,28 @@ type LikeExpr struct {
 	Target  Expr
 	Pattern string
 	Negate  bool
+
+	// prog caches the compiled wildcard program so each query compiles
+	// the pattern once, not once per scanned row.
+	prog atomic.Pointer[likeProg]
+}
+
+// program returns the compiled pattern, compiling on first use. A lost
+// race stores an identical program, so the cache is safe without locks.
+func (x *LikeExpr) program() *likeProg {
+	if p := x.prog.Load(); p != nil {
+		return p
+	}
+	p := compileLike(x.Pattern)
+	x.prog.Store(p)
+	return p
+}
+
+// PlaceholderExpr is a positional `?` parameter, bound to one of the
+// Value arguments of Query/Exec before execution. Index is the 0-based
+// position of the `?` in the statement.
+type PlaceholderExpr struct {
+	Index int
 }
 
 // CallExpr is an aggregate call: COUNT/SUM/AVG/MIN/MAX. Star marks
@@ -159,13 +183,14 @@ type CallExpr struct {
 	Arg      Expr // nil for COUNT(*)
 }
 
-func (*LiteralExpr) expr() {}
-func (*ColumnExpr) expr()  {}
-func (*BinaryExpr) expr()  {}
-func (*NotExpr) expr()     {}
-func (*InExpr) expr()      {}
-func (*LikeExpr) expr()    {}
-func (*CallExpr) expr()    {}
+func (*LiteralExpr) expr()     {}
+func (*ColumnExpr) expr()      {}
+func (*BinaryExpr) expr()      {}
+func (*NotExpr) expr()         {}
+func (*InExpr) expr()          {}
+func (*LikeExpr) expr()        {}
+func (*CallExpr) expr()        {}
+func (*PlaceholderExpr) expr() {}
 
 // hasAggregate reports whether the expression contains an aggregate call,
 // which decides between plain projection and grouped execution.

@@ -5,9 +5,11 @@ import (
 	"encoding/gob"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // DB is an in-memory relational database. It is safe for concurrent use;
@@ -16,12 +18,74 @@ import (
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*table
+	// workers is the SELECT execution parallelism (join probes and
+	// post-join filters shard across this many goroutines); <= 1 runs
+	// serially. Atomic so SetParallelism can race with in-flight queries.
+	workers atomic.Int32
+	// planMode selects the SELECT executor (see PlanMode).
+	planMode atomic.Int32
+}
+
+// Option configures a database at Open time.
+type Option func(*DB)
+
+// Workers sets the query parallelism, mirroring core.WithParallelism:
+// n <= 0 selects GOMAXPROCS, the default (no option) is the serial
+// path. Both settings produce byte-identical results.
+func Workers(n int) Option {
+	return func(db *DB) { db.SetParallelism(n) }
 }
 
 // Open returns an empty database.
-func Open() *DB {
-	return &DB{tables: make(map[string]*table)}
+func Open(opts ...Option) *DB {
+	db := &DB{tables: make(map[string]*table)}
+	for _, opt := range opts {
+		opt(db)
+	}
+	return db
 }
+
+// SetParallelism changes the query worker count of an existing
+// database. n <= 0 selects GOMAXPROCS.
+func (db *DB) SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	db.workers.Store(int32(n))
+}
+
+// Parallelism reports the effective query worker count.
+func (db *DB) Parallelism() int {
+	if n := int(db.workers.Load()); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// PlanMode selects the SELECT execution strategy.
+type PlanMode int32
+
+const (
+	// PlanJoin (the default) runs the conjunct-aware planner: WHERE
+	// conjuncts touching one table push down into its base scan (with
+	// index narrowing), compound ON clauses decompose into multi-column
+	// hash-join keys plus residual predicates applied during the probe,
+	// primary-key and secondary indexes serve as prebuilt build sides,
+	// and the probe phase shards across the Workers pool.
+	PlanJoin PlanMode = iota
+	// PlanNaive is the pre-planner reference executor: single-equality
+	// hash joins, nested loops for every compound ON clause, WHERE
+	// applied only after all joins. Kept for identity tests and as the
+	// benchmark baseline.
+	PlanNaive
+)
+
+// SetPlanMode switches the SELECT executor. Both modes produce
+// byte-identical results; PlanNaive exists as the reference baseline.
+func (db *DB) SetPlanMode(m PlanMode) { db.planMode.Store(int32(m)) }
+
+// Plan reports the active SELECT executor.
+func (db *DB) Plan() PlanMode { return PlanMode(db.planMode.Load()) }
 
 // table is the storage for one relation.
 type table struct {
@@ -129,18 +193,25 @@ type Result struct {
 }
 
 // Exec runs a statement that does not produce rows (DDL and DML). It
-// returns the number of affected rows (0 for DDL).
-func (db *DB) Exec(sql string) (int, error) {
+// returns the number of affected rows (0 for DDL). `?` placeholders in
+// the statement bind positionally to args.
+func (db *DB) Exec(sql string, args ...Value) (int, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		return 0, err
 	}
-	return db.ExecStmt(stmt)
+	return db.ExecStmt(stmt, args...)
 }
 
 // ExecStmt is Exec for a pre-parsed statement, letting hot ingestion
-// loops skip re-parsing.
-func (db *DB) ExecStmt(stmt Statement) (int, error) {
+// loops skip re-parsing. Binding placeholder arguments never mutates
+// stmt, so one parsed statement may execute concurrently with
+// different args.
+func (db *DB) ExecStmt(stmt Statement, args ...Value) (int, error) {
+	stmt, err := bindStatement(stmt, args)
+	if err != nil {
+		return 0, err
+	}
 	switch s := stmt.(type) {
 	case *CreateTableStmt:
 		return 0, db.createTable(s)
@@ -161,9 +232,15 @@ func (db *DB) ExecStmt(stmt Statement) (int, error) {
 	}
 }
 
-// Query runs a SELECT and returns its result set.
-func (db *DB) Query(sql string) (*Result, error) {
+// Query runs a SELECT and returns its result set. `?` placeholders in
+// the statement bind positionally to args (the typed-Value path, so
+// caller-supplied text never needs quoting).
+func (db *DB) Query(sql string, args ...Value) (*Result, error) {
 	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err = bindStatement(stmt, args)
 	if err != nil {
 		return nil, err
 	}
@@ -178,8 +255,8 @@ func (db *DB) Query(sql string) (*Result, error) {
 
 // QueryInt runs a single-value SELECT (for example a COUNT) and returns
 // the cell as an int64.
-func (db *DB) QueryInt(sql string) (int64, error) {
-	res, err := db.Query(sql)
+func (db *DB) QueryInt(sql string, args ...Value) (int64, error) {
+	res, err := db.Query(sql, args...)
 	if err != nil {
 		return 0, err
 	}

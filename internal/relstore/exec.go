@@ -175,12 +175,14 @@ func eval(e Expr, env evalEnv) (Value, error) {
 		if target.Kind() != KindText {
 			return Bool(false), nil
 		}
-		return Bool(likeMatch(target.AsText(), x.Pattern) != x.Negate), nil
+		return Bool(x.program().match(target.AsText()) != x.Negate), nil
 	case *CallExpr:
 		if v, ok := env.aggregate(x); ok {
 			return v, nil
 		}
 		return Value{}, fmt.Errorf("relstore: aggregate %s used outside grouped query", x.Func)
+	case *PlaceholderExpr:
+		return Value{}, fmt.Errorf("relstore: unbound placeholder ?%d (pass arguments to Query/Exec)", x.Index+1)
 	default:
 		return Value{}, fmt.Errorf("relstore: cannot evaluate %T", e)
 	}
@@ -261,6 +263,20 @@ type joinedRows struct {
 }
 
 func (db *DB) execSelect(s *SelectStmt) (*Result, error) {
+	// maxPlannedTables bounds the planner's table bitmask; wider joins
+	// (never seen in practice) fall back to the reference executor.
+	const maxPlannedTables = 64
+	if db.Plan() == PlanNaive || len(s.Joins)+1 > maxPlannedTables {
+		return db.execSelectNaive(s)
+	}
+	return db.execSelectPlanned(s)
+}
+
+// execSelectNaive is the reference SELECT executor: base-table index
+// narrowing only without joins, one hash join per bare `L.col = R.col`
+// ON clause (nested loop otherwise), WHERE applied after all joins.
+// PlanJoin must produce byte-identical results.
+func (db *DB) execSelectNaive(s *SelectStmt) (*Result, error) {
 	base, ok := db.tables[s.From.Table]
 	if !ok {
 		return nil, fmt.Errorf("relstore: no table %q", s.From.Table)
@@ -310,7 +326,12 @@ func (db *DB) execSelect(s *SelectStmt) (*Result, error) {
 	} else {
 		filtered = work.combos
 	}
+	return db.finishSelect(s, work, filtered)
+}
 
+// finishSelect is the strategy-independent tail of a SELECT: projection
+// or grouping over the surviving combos, DISTINCT, ORDER BY, LIMIT.
+func (db *DB) finishSelect(s *SelectStmt, work *joinedRows, filtered [][][]Value) (*Result, error) {
 	grouped := len(s.GroupBy) > 0 || s.Having != nil || itemsHaveAggregates(s)
 	var (
 		res  *Result
@@ -419,6 +440,8 @@ func validateExpr(e Expr, env *rowEnv, extraNames map[string]bool) error {
 			return validateExpr(x.Arg, env, extraNames)
 		}
 		return nil
+	case *PlaceholderExpr:
+		return fmt.Errorf("relstore: unbound placeholder ?%d (pass arguments to Query/Exec)", x.Index+1)
 	default:
 		return nil
 	}

@@ -15,7 +15,7 @@ const (
 	tokKeyword
 	tokNumber
 	tokString
-	tokSymbol // ( ) , . *
+	tokSymbol // ( ) , . * ?
 	tokOp     // = <> != < <= > >=
 )
 
@@ -114,7 +114,7 @@ func lex(input string) ([]token, error) {
 			} else {
 				toks = append(toks, token{kind: tokIdent, text: strings.ToLower(word), pos: start})
 			}
-		case c == '(' || c == ')' || c == ',' || c == '.' || c == '*' || c == ';':
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '*' || c == '?' || c == ';':
 			if c == ';' {
 				i++ // statement terminator, ignored
 				continue

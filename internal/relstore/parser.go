@@ -26,6 +26,9 @@ func Parse(input string) (Statement, error) {
 type parser struct {
 	toks []token
 	pos  int
+	// params counts `?` placeholders seen so far; each gets the next
+	// ordinal position.
+	params int
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -580,6 +583,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 			return &ColumnExpr{Table: t.text, Column: col.text}, nil
 		}
 		return &ColumnExpr{Column: t.text}, nil
+	case t.kind == tokSymbol && t.text == "?":
+		p.next()
+		e := &PlaceholderExpr{Index: p.params}
+		p.params++
+		return e, nil
 	case t.kind == tokSymbol && t.text == "(":
 		p.next()
 		e, err := p.parseExpr()

@@ -290,28 +290,3 @@ func coerce(v Value, k Kind) (Value, error) {
 	}
 	return Value{}, fmt.Errorf("relstore: cannot store %s value %q in %s column", v.kind, v, k)
 }
-
-// likeMatch implements the SQL LIKE operator with % (any run) and _
-// (any single byte) wildcards, case-sensitively.
-func likeMatch(s, pattern string) bool {
-	// Dynamic programming over bytes; patterns are short in practice.
-	n, m := len(s), len(pattern)
-	prev := make([]bool, n+1)
-	cur := make([]bool, n+1)
-	prev[0] = true
-	for j := 1; j <= m; j++ {
-		cur[0] = prev[0] && pattern[j-1] == '%'
-		for i := 1; i <= n; i++ {
-			switch pattern[j-1] {
-			case '%':
-				cur[i] = cur[i-1] || prev[i]
-			case '_':
-				cur[i] = prev[i-1]
-			default:
-				cur[i] = prev[i-1] && s[i-1] == pattern[j-1]
-			}
-		}
-		prev, cur = cur, prev
-	}
-	return prev[n]
-}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package vulndb
+
+// matrixTestEntries sizes the synthetic corpus of the SQL-vs-Study
+// identity test: a scaled-down seeded corpus in ordinary runs, smaller
+// still under the race detector (whose ~10x slowdown would dominate
+// CI). The full 100k-entry scale runs in the benchmarks.
+const matrixTestEntries = 20_000

@@ -1,0 +1,7 @@
+//go:build race
+
+package vulndb
+
+// Race-instrumented runs still prove the SQL path race-clean, just on
+// a smaller synthetic corpus so CI stays fast.
+const matrixTestEntries = 4_000

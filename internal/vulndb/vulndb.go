@@ -12,6 +12,7 @@ package vulndb
 
 import (
 	"fmt"
+	"sort"
 
 	"osdiversity/internal/classify"
 	"osdiversity/internal/cpe"
@@ -82,12 +83,20 @@ type DB struct {
 }
 
 // Create builds a fresh database with the schema and the os table
-// populated from the registry.
-func Create() (*DB, error) {
+// populated from the paper's 11-distro registry.
+func Create() (*DB, error) { return CreateForRegistry(osmap.NewRegistry()) }
+
+// CreateForRegistry builds a fresh database whose os table, clustering
+// and ids follow the given registry's universe, so synthetic "modern
+// NVD" corpora (osmap.NewSyntheticRegistry) load through the same
+// Figure 1 schema. OS ids are assigned 1..n in the registry's
+// presentation order, matching core.Study's distro order.
+func CreateForRegistry(registry *osmap.Registry) (*DB, error) {
+	distros := registry.Distros()
 	db := &DB{
 		store:     relstore.Open(),
-		registry:  osmap.NewRegistry(),
-		osIDs:     make(map[osmap.Distro]int64, osmap.NumDistros),
+		registry:  registry,
+		osIDs:     make(map[osmap.Distro]int64, len(distros)),
 		productID: make(map[string]int64),
 	}
 	for _, ddl := range schema {
@@ -95,7 +104,7 @@ func Create() (*DB, error) {
 			return nil, fmt.Errorf("vulndb: schema: %w", err)
 		}
 	}
-	for i, d := range osmap.Distros() {
+	for i, d := range distros {
 		id := int64(i + 1)
 		db.osIDs[d] = id
 		err := relstore.InsertRow(db.store, "os",
@@ -110,6 +119,11 @@ func Create() (*DB, error) {
 	}
 	return db, nil
 }
+
+// SetParallelism sets the SQL engine's query worker count (the join
+// probe pool), mirroring core.Study.SetParallelism. Results are
+// identical at any worker count.
+func (db *DB) SetParallelism(n int) { db.store.SetParallelism(n) }
 
 // Store exposes the underlying relational store for ad-hoc SQL.
 func (db *DB) Store() *relstore.DB { return db.store }
@@ -364,17 +378,74 @@ func (db *DB) CountByOS() (map[string]int, error) {
 }
 
 // SharedCount runs the pairwise-overlap aggregation as SQL: distinct
-// valid vulnerabilities affecting both named OSes.
+// valid vulnerabilities affecting both named OSes. Names bind as typed
+// parameters, so quote-bearing names neither break the query nor
+// inject SQL. For the full Table III matrix use SharedMatrix, which
+// answers every pair in one grouped plan.
 func (db *DB) SharedCount(a, b string) (int, error) {
-	n, err := db.store.QueryInt(fmt.Sprintf(`
+	n, err := db.store.QueryInt(`
 		SELECT COUNT(DISTINCT x.vuln_id)
 		FROM os_vuln x
 		JOIN os oa ON x.os_id = oa.id
 		JOIN os_vuln y ON x.vuln_id = y.vuln_id
 		JOIN os ob ON y.os_id = ob.id
 		JOIN security_protection sp ON x.vuln_id = sp.vuln_id
-		WHERE oa.name = '%s' AND ob.name = '%s' AND sp.validity = 'Valid'`, a, b))
+		WHERE oa.name = ? AND ob.name = ? AND sp.validity = 'Valid'`,
+		relstore.Text(a), relstore.Text(b))
 	return int(n), err
+}
+
+// PairShared is one cell of the SQL-computed Table III matrix.
+type PairShared struct {
+	A, B   string
+	Shared int
+}
+
+// SharedMatrix materializes the paper's whole Table III v(AB) column in
+// one grouped self-join plan: distinct valid vulnerabilities shared by
+// every unordered OS pair, in os-id (presentation) order with zero
+// cells included — the same pairs, order and counts as
+// core.Study.PairMatrix under the FatServer profile. One query replaces
+// the n*(n-1)/2 per-pair SharedCount round trips.
+func (db *DB) SharedMatrix() ([]PairShared, error) {
+	type osRow struct {
+		id   int64
+		name string
+	}
+	var oses []osRow
+	err := relstore.ScanTable(db.store, "os", func(row []relstore.Value) bool {
+		oses = append(oses, osRow{row[0].AsInt(), row[1].AsText()})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(oses, func(i, j int) bool { return oses[i].id < oses[j].id })
+
+	res, err := db.store.Query(`
+		SELECT oa.name, ob.name, COUNT(DISTINCT x.vuln_id)
+		FROM os_vuln x
+		JOIN security_protection sp ON x.vuln_id = sp.vuln_id
+		JOIN os_vuln y ON x.vuln_id = y.vuln_id
+		JOIN os oa ON x.os_id = oa.id
+		JOIN os ob ON y.os_id = ob.id
+		WHERE sp.validity = 'Valid' AND oa.id < ob.id
+		GROUP BY oa.name, ob.name`)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int, len(res.Rows))
+	for _, row := range res.Rows {
+		counts[row[0].AsText()+"\x00"+row[1].AsText()] = int(row[2].AsInt())
+	}
+	out := make([]PairShared, 0, len(oses)*(len(oses)-1)/2)
+	for i := 0; i < len(oses); i++ {
+		for j := i + 1; j < len(oses); j++ {
+			a, b := oses[i].name, oses[j].name
+			out = append(out, PairShared{A: a, B: b, Shared: counts[a+"\x00"+b]})
+		}
+	}
+	return out, nil
 }
 
 // Save persists the database to disk; Open loads it back.

@@ -276,6 +276,36 @@ func ImportFeeds(dbPath string, feedPaths []string, opts ...Option) (int, int, e
 	return stored, skipped, nil
 }
 
+// SQLPairShared is one cell of the SQL-computed Table III matrix.
+type SQLPairShared struct {
+	A, B   string
+	Shared int
+}
+
+// SQLPairwiseShared computes the paper's Table III shared-vulnerability
+// matrix directly in the embedded SQL engine over a database produced
+// by ImportFeeds: one grouped hash-join plan answers every OS pair,
+// without reconstructing entries or building a Study. With
+// WithParallelism the join probes shard across the worker pool. The
+// counts are byte-identical to PairwiseOverlaps' All column.
+func SQLPairwiseShared(dbPath string, opts ...Option) ([]SQLPairShared, error) {
+	cfg := newConfig(opts)
+	db, err := vulndb.Open(dbPath)
+	if err != nil {
+		return nil, err
+	}
+	db.SetParallelism(cfg.workers)
+	cells, err := db.SharedMatrix()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SQLPairShared, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, SQLPairShared{A: c.A, B: c.B, Shared: c.Shared})
+	}
+	return out, nil
+}
+
 // LoadDatabase builds the analysis from a database produced by
 // ImportFeeds.
 func LoadDatabase(dbPath string, opts ...Option) (*Analysis, error) {

@@ -65,6 +65,24 @@ func TestEndToEndFeedsAndDatabase(t *testing.T) {
 	if fromDB.ValidCount() != 1887 {
 		t.Errorf("database analysis valid = %d, want 1887", fromDB.ValidCount())
 	}
+
+	// The SQL-path Table III matrix agrees cell-for-cell with the
+	// Study's All column over the same database.
+	cells, err := SQLPairwiseShared(dbPath, WithParallelism(4))
+	if err != nil {
+		t.Fatalf("SQLPairwiseShared: %v", err)
+	}
+	overlaps := fromDB.PairwiseOverlaps()
+	if len(cells) != len(overlaps) {
+		t.Fatalf("SQL matrix has %d pairs, Study %d", len(cells), len(overlaps))
+	}
+	for i, cell := range cells {
+		row := overlaps[i]
+		if cell.A != row.A || cell.B != row.B || cell.Shared != row.All {
+			t.Errorf("SQL pair %d = %s-%s %d, Study %s-%s %d",
+				i, cell.A, cell.B, cell.Shared, row.A, row.B, row.All)
+		}
+	}
 }
 
 func TestAnalysisTables(t *testing.T) {
