@@ -12,6 +12,19 @@
 // records the scan-over-bitset speedup factor; likewise "Naive" /
 // "Planned" siblings (the relstore query-planner benchmarks) record
 // naive-over-planned.
+//
+// With -compare old.json the command additionally gates on performance
+// regressions: any benchmark present in both the old summary and the
+// fresh input whose ns/op grew beyond -tolerance (relative, default
+// 0.35) fails the run with exit status 2 (tool errors — unreadable
+// baseline, empty input — keep exit 1). Benchmarks below -floor ns/op
+// in the old summary are skipped (single-iteration timings of
+// micro-benchmarks are noise-dominated), and benchmarks appearing in
+// only one of the two summaries are ignored, so adding or retiring a
+// benchmark never trips the gate. The old summary is read before -out
+// is written, so both flags may name the same file — CI compares the
+// fresh run against the committed BENCH_*.json and then overwrites it
+// for the artifact upload.
 package main
 
 import (
@@ -19,6 +32,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"regexp"
@@ -59,16 +73,82 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("out", "BENCH_core.json", "output JSON path (- for stdout)")
+	compare := flag.String("compare", "", "gate against this prior summary JSON (read before -out is written)")
+	tolerance := flag.Float64("tolerance", 0.35, "relative ns/op growth beyond which a shared benchmark regresses")
+	floor := flag.Float64("floor", 100_000, "skip the gate for benchmarks under this many ns/op in the old summary (noise)")
 	flag.Parse()
 
+	// Read the baseline before anything is written so -compare and
+	// -out may name the same committed file.
+	var baseline *summary
+	if *compare != "" {
+		old, err := readSummary(*compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline = old
+	}
+
+	samples, err := parseBench(os.Stdin, os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(samples) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+
+	doc := buildSummary(samples)
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks, %d speedups)\n", *out, len(doc.NsPerOp), len(doc.Speedups))
+	}
+
+	if baseline != nil {
+		report := compareSummaries(baseline.NsPerOp, doc.NsPerOp, *tolerance, *floor)
+		fmt.Fprintf(os.Stderr, "gate: %d compared, %d under floor, %d only in one summary\n",
+			report.compared, report.underFloor, report.unmatched)
+		if report.compared == 0 && len(baseline.NsPerOp) > 0 {
+			// Zero shared above-floor benchmarks means the gate checked
+			// nothing — a wrong -compare target or a mass rename must
+			// not pass vacuously.
+			log.Fatalf("gate compared no benchmarks against %s: wrong baseline?", *compare)
+		}
+		if len(report.regressions) > 0 {
+			for _, r := range report.regressions {
+				fmt.Fprintf(os.Stderr, "REGRESSION %s: %.0f -> %.0f ns/op (%+.0f%%, tolerance %.0f%%)\n",
+					r.name, r.oldNs, r.newNs, 100*(r.newNs/r.oldNs-1), 100**tolerance)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond tolerance against %s\n",
+				len(report.regressions), *compare)
+			// Exit 2 distinguishes a confirmed regression from tool
+			// errors (log.Fatal's exit 1): CI treats 2 as a gate
+			// verdict and anything else as a broken bench run.
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "gate: ok")
+	}
+}
+
+// parseBench scans `go test -bench` output, echoing every line to echo
+// (the CI log keeps the raw table) and collecting ns/op samples per
+// benchmark name with the CPU suffix stripped.
+func parseBench(r io.Reader, echo io.Writer) (map[string][]float64, error) {
 	samples := make(map[string][]float64)
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
-		// Pass through on stderr so the CI log keeps the raw table and
-		// `-out -` still emits clean JSON on stdout.
-		fmt.Fprintln(os.Stderr, line)
+		fmt.Fprintln(echo, line)
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
@@ -79,14 +159,13 @@ func main() {
 		}
 		samples[m[1]] = append(samples[m[1]], ns)
 	}
-	if err := sc.Err(); err != nil {
-		log.Fatal(err)
-	}
-	if len(samples) == 0 {
-		log.Fatal("no benchmark lines found on stdin")
-	}
+	return samples, sc.Err()
+}
 
-	doc := summary{
+// buildSummary reduces samples (median per benchmark) and derives the
+// speedup-pair ratios.
+func buildSummary(samples map[string][]float64) *summary {
+	doc := &summary{
 		Note:         "ns/op per benchmark; regenerate with: go test -run xxx -bench . -benchtime=1x <packages> | go run ./cmd/benchjson -out <file> (see the CI workflow for each file's package list)",
 		NsPerOp:      make(map[string]float64, len(samples)),
 		Speedups:     make(map[string]float64),
@@ -106,7 +185,7 @@ func main() {
 			if !ok || fast == 0 {
 				continue
 			}
-			pair.dst(&doc)[base] = round2(ns / fast)
+			pair.dst(doc)[base] = round2(ns / fast)
 		}
 	}
 	if len(doc.Speedups) == 0 {
@@ -115,20 +194,67 @@ func main() {
 	if len(doc.PlanSpeedups) == 0 {
 		doc.PlanSpeedups = nil
 	}
+	return doc
+}
 
-	enc, err := json.MarshalIndent(doc, "", "  ")
+// readSummary loads a prior summary document.
+func readSummary(path string) (*summary, error) {
+	raw, err := os.ReadFile(path)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	enc = append(enc, '\n')
-	if *out == "-" {
-		os.Stdout.Write(enc)
-		return
+	var doc summary
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		log.Fatal(err)
+	return &doc, nil
+}
+
+// regression is one benchmark that slowed beyond tolerance.
+type regression struct {
+	name         string
+	oldNs, newNs float64
+}
+
+// gateReport is the outcome of one baseline comparison.
+type gateReport struct {
+	compared    int // names in both summaries, at or above the floor
+	underFloor  int // shared names skipped as noise-dominated
+	unmatched   int // names in only one summary (new or retired benchmarks)
+	regressions []regression
+}
+
+// compareSummaries gates fresh ns/op numbers against a baseline. Only
+// benchmarks present in both maps participate; shared benchmarks whose
+// baseline is under floor ns/op are skipped (their single-iteration
+// timings are noise); the rest regress when they grew beyond the
+// relative tolerance.
+func compareSummaries(oldNs, newNs map[string]float64, tolerance, floor float64) gateReport {
+	var rep gateReport
+	for name, o := range oldNs {
+		n, ok := newNs[name]
+		if !ok {
+			rep.unmatched++
+			continue
+		}
+		if o < floor {
+			rep.underFloor++
+			continue
+		}
+		rep.compared++
+		if n > o*(1+tolerance) {
+			rep.regressions = append(rep.regressions, regression{name: name, oldNs: o, newNs: n})
+		}
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks, %d speedups)\n", *out, len(doc.NsPerOp), len(doc.Speedups))
+	for name := range newNs {
+		if _, ok := oldNs[name]; !ok {
+			rep.unmatched++
+		}
+	}
+	sort.Slice(rep.regressions, func(i, j int) bool {
+		return rep.regressions[i].name < rep.regressions[j].name
+	})
+	return rep
 }
 
 func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }

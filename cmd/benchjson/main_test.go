@@ -1,0 +1,89 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+BenchmarkTable3PairwiseOverlap-2    	       1	    500000 ns/op
+BenchmarkKWise100kScan-2            	       1	   3000000 ns/op
+BenchmarkKWise100kBitset-2          	       1	    300000 ns/op
+BenchmarkJoinNaive-2                	       1	  80000000 ns/op
+BenchmarkJoinPlanned-2              	       1	   2000000 ns/op
+PASS
+`
+
+func TestParseBenchStripsCPUSuffix(t *testing.T) {
+	samples, err := parseBench(strings.NewReader(benchOutput), io.Discard)
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if got := len(samples); got != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5 (%v)", got, samples)
+	}
+	if ns := samples["BenchmarkKWise100kScan"]; len(ns) != 1 || ns[0] != 3000000 {
+		t.Errorf("BenchmarkKWise100kScan samples = %v, want [3000000]", ns)
+	}
+}
+
+func TestBuildSummaryMedianAndSpeedups(t *testing.T) {
+	doc := buildSummary(map[string][]float64{
+		"BenchmarkKWise100kScan":   {3000000, 1000000, 2000000},
+		"BenchmarkKWise100kBitset": {400000},
+		"BenchmarkJoinNaive":       {80000000},
+		"BenchmarkJoinPlanned":     {2000000},
+	})
+	if got := doc.NsPerOp["BenchmarkKWise100kScan"]; got != 2000000 {
+		t.Errorf("median = %v, want 2000000", got)
+	}
+	if got := doc.Speedups["BenchmarkKWise100k"]; got != 5 {
+		t.Errorf("scan/bitset speedup = %v, want 5", got)
+	}
+	if got := doc.PlanSpeedups["BenchmarkJoin"]; got != 40 {
+		t.Errorf("naive/planned speedup = %v, want 40", got)
+	}
+}
+
+func TestCompareSummariesGate(t *testing.T) {
+	old := map[string]float64{
+		"BenchmarkStable":    1_000_000, // within tolerance
+		"BenchmarkRegressed": 1_000_000, // +50% > 35% tolerance
+		"BenchmarkImproved":  1_000_000, // faster is never flagged
+		"BenchmarkNoisy":     50_000,    // under the 100k floor: skipped
+		"BenchmarkRetired":   1_000_000, // gone from the new run: ignored
+	}
+	fresh := map[string]float64{
+		"BenchmarkStable":    1_300_000,
+		"BenchmarkRegressed": 1_500_000,
+		"BenchmarkImproved":  200_000,
+		"BenchmarkNoisy":     500_000,
+		"BenchmarkBrandNew":  9_000_000, // only in the new run: ignored
+	}
+	rep := compareSummaries(old, fresh, 0.35, 100_000)
+	if rep.compared != 3 {
+		t.Errorf("compared = %d, want 3", rep.compared)
+	}
+	if rep.underFloor != 1 {
+		t.Errorf("underFloor = %d, want 1", rep.underFloor)
+	}
+	if rep.unmatched != 2 {
+		t.Errorf("unmatched = %d, want 2 (one retired, one new)", rep.unmatched)
+	}
+	if len(rep.regressions) != 1 || rep.regressions[0].name != "BenchmarkRegressed" {
+		t.Fatalf("regressions = %+v, want exactly BenchmarkRegressed", rep.regressions)
+	}
+	if r := rep.regressions[0]; r.oldNs != 1_000_000 || r.newNs != 1_500_000 {
+		t.Errorf("regression ns = %v -> %v, want 1000000 -> 1500000", r.oldNs, r.newNs)
+	}
+}
+
+func TestCompareSummariesExactTolerancePasses(t *testing.T) {
+	old := map[string]float64{"BenchmarkEdge": 1_000_000}
+	fresh := map[string]float64{"BenchmarkEdge": 1_350_000}
+	if rep := compareSummaries(old, fresh, 0.35, 0); len(rep.regressions) != 0 {
+		t.Fatalf("exactly-at-tolerance flagged as regression: %+v", rep.regressions)
+	}
+}

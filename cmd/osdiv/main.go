@@ -16,6 +16,12 @@
 //	simulate  run the attack simulation extension (E12)
 //	sqltable3 print the Table III matrix computed by the SQL engine
 //	          (requires -db; one grouped hash-join plan, no Study)
+//	serve     stay resident and answer every query over HTTP/JSON
+//	          (-addr, -max-inflight; drains gracefully on SIGTERM)
+//
+// `tables -json` prints the httpapi wire documents instead of ASCII
+// tables; `osdiv tables -t 3 -json` is byte-identical to the server's
+// /api/table3 response (the CI smoke step diffs them).
 package main
 
 import (
@@ -28,7 +34,9 @@ import (
 	"strings"
 
 	"osdiversity"
+	"osdiversity/internal/httpapi"
 	"osdiversity/internal/report"
+	"osdiversity/internal/server"
 )
 
 func main() {
@@ -55,10 +63,11 @@ func main() {
 		return
 	}
 
-	a, err := loadAnalysis(loadConfig{
+	cfg := loadConfig{
 		db: *db, feeds: *feeds, workers: *workers, engine: *engine,
 		synthetic: *synthetic, distros: *distros, seed: *seed,
-	})
+	}
+	a, err := loadAnalysis(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,6 +86,8 @@ func main() {
 		err = runReleases(a)
 	case "simulate":
 		err = runSimulate(a, args)
+	case "serve":
+		err = runServe(a, cfg, args)
 	default:
 		usage()
 	}
@@ -86,7 +97,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir | -synthetic n] [-workers n] [-engine bitset|scan] tables|figures|kwise|select|releases|simulate|sqltable3 [options]")
+	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir | -synthetic n] [-workers n] [-engine bitset|scan] tables|figures|kwise|select|releases|simulate|sqltable3|serve [options]")
 	os.Exit(2)
 }
 
@@ -148,8 +159,12 @@ func loadAnalysis(cfg loadConfig) (*osdiversity.Analysis, error) {
 func runTables(a *osdiversity.Analysis, args []string) error {
 	fs := flag.NewFlagSet("tables", flag.ExitOnError)
 	which := fs.Int("t", 0, "table number (1-6); 0 prints all")
+	asJSON := fs.Bool("json", false, "emit the httpapi wire documents (the bytes `osdiv serve` answers)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *asJSON {
+		return runTablesJSON(a, *which)
 	}
 	printed := false
 	show := func(n int) bool { return *which == 0 || *which == n }
@@ -178,6 +193,43 @@ func runTables(a *osdiversity.Analysis, args []string) error {
 	}
 	if !printed {
 		return fmt.Errorf("unknown table %d", *which)
+	}
+	return nil
+}
+
+// runTablesJSON prints tables as httpapi wire documents, one JSON line
+// per table, byte-identical to the server's /api/tableN responses.
+func runTablesJSON(a *osdiversity.Analysis, which int) error {
+	builders := map[int]func() (any, error){
+		1: func() (any, error) { return server.BuildTable1(a), nil },
+		2: func() (any, error) { return server.BuildTable2(a), nil },
+		3: func() (any, error) { return server.BuildTable3(a), nil },
+		4: func() (any, error) { return server.BuildTable4(a), nil },
+		5: func() (any, error) { return server.BuildTable5(a, server.DefaultSplitYear), nil },
+		6: func() (any, error) { return server.BuildReleases(a) },
+	}
+	emit := func(n int) error {
+		doc, err := builders[n]()
+		if err != nil {
+			return err
+		}
+		b, err := httpapi.Marshal(doc)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	if which != 0 {
+		if _, ok := builders[which]; !ok {
+			return fmt.Errorf("unknown table %d", which)
+		}
+		return emit(which)
+	}
+	for n := 1; n <= 6; n++ {
+		if err := emit(n); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -353,21 +405,16 @@ func runSelect(a *osdiversity.Analysis, args []string) error {
 }
 
 func runReleases(a *osdiversity.Analysis) error {
-	releases := []struct{ os, ver string }{
-		{"Debian", "2.1"}, {"Debian", "3.0"}, {"Debian", "4.0"},
-		{"RedHat", "6.2*"}, {"RedHat", "4.0"}, {"RedHat", "5.0"},
+	// The grid lives in server.BuildReleases so the ASCII table, the
+	// -json document and the /api/releases response share one source.
+	doc, err := server.BuildReleases(a)
+	if err != nil {
+		return err
 	}
 	t := report.NewTable("Table VI — common vulnerabilities between OS releases (Isolated Thin Server)",
 		"Releases", "Total")
-	for i := 0; i < len(releases); i++ {
-		for j := i + 1; j < len(releases); j++ {
-			ra, rb := releases[i], releases[j]
-			n, err := a.ReleaseOverlap(ra.os, ra.ver, rb.os, rb.ver)
-			if err != nil {
-				return err
-			}
-			t.AddRowValues(ra.os+ra.ver+"-"+rb.os+rb.ver, n)
-		}
+	for _, c := range doc.Cells {
+		t.AddRowValues(c.A+c.VA+"-"+c.B+c.VB, c.Shared)
 	}
 	t.WriteASCII(os.Stdout)
 	fmt.Println()

@@ -1,14 +1,22 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"osdiversity"
+	"osdiversity/internal/httpapi"
+	"osdiversity/internal/server"
 )
 
 // The smoke tests re-execute the test binary with GO_OSDIV_MAIN=1 so
@@ -150,6 +158,148 @@ func TestSQLTable3Smoke(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "needs -db") {
 		t.Errorf("stderr missing -db diagnostic: %s", stderr)
+	}
+}
+
+func TestParseServeFlags(t *testing.T) {
+	t.Run("defaults", func(t *testing.T) {
+		opts, err := parseServeFlags(nil)
+		if err != nil {
+			t.Fatalf("parseServeFlags: %v", err)
+		}
+		if opts.addr != "127.0.0.1:8080" || opts.maxInFlight != 0 || opts.drainTimeout != 10*time.Second {
+			t.Errorf("defaults = %+v", opts)
+		}
+	})
+	t.Run("custom", func(t *testing.T) {
+		opts, err := parseServeFlags([]string{"-addr", ":9090", "-max-inflight", "7", "-drain", "3s"})
+		if err != nil {
+			t.Fatalf("parseServeFlags: %v", err)
+		}
+		if opts.addr != ":9090" || opts.maxInFlight != 7 || opts.drainTimeout != 3*time.Second {
+			t.Errorf("custom = %+v", opts)
+		}
+	})
+	for _, tt := range []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-frobnicate"}},
+		{"trailing argument", []string{"extra"}},
+		{"negative max-inflight", []string{"-max-inflight", "-3"}},
+		{"empty addr", []string{"-addr", ""}},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := parseServeFlags(tt.args); err == nil {
+				t.Errorf("parseServeFlags(%v) succeeded, want error", tt.args)
+			}
+		})
+	}
+}
+
+// TestTablesJSONIdentity asserts `osdiv tables -t N -json` prints the
+// same bytes the server answers — the contract the CI smoke step diffs.
+func TestTablesJSONIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the corpus")
+	}
+	a, err := osdiversity.LoadCalibrated()
+	if err != nil {
+		t.Fatalf("LoadCalibrated: %v", err)
+	}
+	want3, err := httpapi.Marshal(server.BuildTable3(a))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	stdout, stderr, code := runOsdiv(t, "tables", "-t", "3", "-json")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	if stdout != string(want3) {
+		t.Errorf("tables -t 3 -json differs from server document\n got: %.200s\nwant: %.200s", stdout, want3)
+	}
+
+	stdout, stderr, code = runOsdiv(t, "tables", "-json")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	if got := strings.Count(stdout, "\n"); got != 6 {
+		t.Errorf("tables -json printed %d lines, want 6 (one document per table)", got)
+	}
+}
+
+var serveAddrRe = regexp.MustCompile(`on http://([0-9.:]+)`)
+
+// TestServeSmoke boots the real `osdiv serve` through main(), queries
+// it over TCP, and shuts it down with SIGTERM, asserting the graceful
+// drain exits cleanly.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the corpus and binds a socket")
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestMain")
+	cmd.Env = append(os.Environ(),
+		"GO_OSDIV_MAIN=1",
+		"GO_OSDIV_ARGS="+strings.Join([]string{"-workers", "2", "serve", "-addr", "127.0.0.1:0"}, "\x1f"))
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatalf("stderr pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start serve: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	// The startup log line names the bound address.
+	var addr string
+	var logged bytes.Buffer
+	sc := bufio.NewScanner(stderrPipe)
+	for sc.Scan() {
+		line := sc.Text()
+		logged.WriteString(line + "\n")
+		if m := serveAddrRe.FindStringSubmatch(line); m != nil {
+			addr = m[1]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listen address in serve output:\n%s", logged.String())
+	}
+	go io.Copy(io.Discard, stderrPipe)
+
+	base := "http://" + addr
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "{\"status\":\"ok\"}\n" {
+		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(base + "/api/table5?split=abc")
+	if err != nil {
+		t.Fatalf("GET bad table5: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), `"bad_param"`) {
+		t.Errorf("bad split = %d %q, want 400 bad_param envelope", resp.StatusCode, body)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not drain within 15s of SIGTERM")
 	}
 }
 

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"osdiversity"
+	"osdiversity/internal/server"
+)
+
+// serveOptions are the flags of the serve subcommand.
+type serveOptions struct {
+	addr         string
+	maxInFlight  int
+	drainTimeout time.Duration
+}
+
+// parseServeFlags parses the serve subcommand's flags. Errors come back
+// to the caller (and the tests) instead of exiting.
+func parseServeFlags(args []string) (serveOptions, error) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir | -synthetic n] [-workers n] serve [options]")
+		fs.SetOutput(os.Stderr)
+		fs.PrintDefaults()
+		fs.SetOutput(io.Discard)
+	}
+	opts := serveOptions{}
+	fs.StringVar(&opts.addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.IntVar(&opts.maxInFlight, "max-inflight", 0,
+		"bound on concurrently executing query computations (0 = worker count)")
+	fs.DurationVar(&opts.drainTimeout, "drain", 10*time.Second,
+		"graceful shutdown deadline after SIGTERM/SIGINT")
+	if err := fs.Parse(args); err != nil {
+		return serveOptions{}, fmt.Errorf("serve: %w", err)
+	}
+	if fs.NArg() > 0 {
+		return serveOptions{}, fmt.Errorf("serve: unexpected argument %q", fs.Arg(0))
+	}
+	if opts.addr == "" {
+		return serveOptions{}, errors.New("serve: -addr must not be empty")
+	}
+	if opts.maxInFlight < 0 {
+		return serveOptions{}, fmt.Errorf("serve: -max-inflight %d must be >= 0", opts.maxInFlight)
+	}
+	return opts, nil
+}
+
+// sourceName describes the loaded corpus for the /corpus endpoint.
+func sourceName(cfg loadConfig) string {
+	switch {
+	case cfg.synthetic > 0:
+		return fmt.Sprintf("synthetic:%d", cfg.synthetic)
+	case cfg.db != "":
+		return "db:" + cfg.db
+	case cfg.feeds != "":
+		return "feeds:" + cfg.feeds
+	default:
+		return "calibrated"
+	}
+}
+
+// runServe starts the resident query server over the loaded analysis
+// and blocks until SIGTERM/SIGINT, then drains in-flight requests.
+func runServe(a *osdiversity.Analysis, cfg loadConfig, args []string) error {
+	opts, err := parseServeFlags(args)
+	if errors.Is(err, flag.ErrHelp) {
+		return nil // usage already printed
+	}
+	if err != nil {
+		return err
+	}
+	engine := cfg.engine
+	if engine == "" {
+		engine = "bitset"
+	}
+	srv := server.New(a, server.Config{
+		Source:      sourceName(cfg),
+		Engine:      engine,
+		Workers:     a.Parallelism(),
+		DBPath:      cfg.db,
+		MaxInFlight: opts.maxInFlight,
+	})
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// A resident server must not let half-open or stalled
+		// connections pin goroutines and descriptors forever. The
+		// write budget is generous because /api/mostshared streams
+		// multi-MB bodies to legitimate slow readers.
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("serving %s on http://%s (workers=%d engine=%s)",
+		sourceName(cfg), ln.Addr(), a.Parallelism(), engine)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received, draining (deadline %s)", opts.drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), opts.drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Print("drained, bye")
+	return nil
+}

@@ -14,6 +14,8 @@ package classify
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 	"unicode"
 
 	"osdiversity/internal/cve"
@@ -117,9 +119,32 @@ type Rule struct {
 
 // Classifier applies an ordered rule table with per-CVE overrides.
 // Construct with NewClassifier; the zero value classifies nothing.
+//
+// Rule-table results are memoized per summary text: corpus descriptions
+// draw on a small template vocabulary, so at 100k-entry scale the same
+// summary recurs thousands of times and the keyword scan dominated
+// ingestion. The memo is concurrency-safe (digestion shards entries
+// across worker pools) and caches only the deterministic rule-table
+// outcome — per-CVE overrides are consulted first and never cached.
+// Insertion stops at memoMaxEntries so a corpus of mostly-unique
+// summaries (a real NVD feed) bounds the map instead of mirroring the
+// whole feed; lookups keep working either way.
 type Classifier struct {
 	rules     []Rule
 	overrides map[cve.ID]Class
+	memo      sync.Map // summary string -> ruleHit
+	memoSize  atomic.Int64
+}
+
+// memoMaxEntries caps the per-summary memo. The synthetic template
+// vocabulary needs a few hundred entries; the cap only matters for
+// unique-summary corpora, where memoization cannot win anyway.
+const memoMaxEntries = 1 << 16
+
+// ruleHit is one memoized rule-table outcome.
+type ruleHit struct {
+	class Class
+	rule  string
 }
 
 // NewClassifier returns a classifier loaded with the default rule table
@@ -157,15 +182,30 @@ func (c *Classifier) ClassifyExplained(e *cve.Entry) (Class, string) {
 	if class, ok := c.overrides[e.ID]; ok {
 		return class, "override"
 	}
-	text := foldText(e.Summary)
+	if hit, ok := c.memo.Load(e.Summary); ok {
+		h := hit.(ruleHit)
+		return h.class, h.rule
+	}
+	h := c.applyRules(e.Summary)
+	if c.memoSize.Load() < memoMaxEntries {
+		if _, loaded := c.memo.LoadOrStore(e.Summary, h); !loaded {
+			c.memoSize.Add(1)
+		}
+	}
+	return h.class, h.rule
+}
+
+// applyRules runs the rule table over one summary.
+func (c *Classifier) applyRules(summary string) ruleHit {
+	text := foldText(summary)
 	for _, r := range c.rules {
 		for _, kw := range r.Keywords {
 			if containsWord(text, kw) {
-				return r.Class, r.Name
+				return ruleHit{class: r.Class, rule: r.Name}
 			}
 		}
 	}
-	return ClassUnclassified, ""
+	return ruleHit{class: ClassUnclassified}
 }
 
 // Rules exposes the rule table (shared slice; callers must not mutate).

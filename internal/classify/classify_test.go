@@ -179,6 +179,44 @@ func TestEveryRuleKeywordFires(t *testing.T) {
 	}
 }
 
+func TestMemoizedClassificationStable(t *testing.T) {
+	// Repeated classifications of the same summary (the hot path of
+	// 100k-corpus digestion) must serve from the memo and agree with a
+	// cold classifier on every call.
+	summaries := []string{
+		"Buffer overflow in the kernel allows remote attackers to crash the system.",
+		"Issue in the wireless card driver lets attackers inject frames.",
+		"Flaw in sshd permits remote login bypass.",
+		"Completely unmatched text about gardening.",
+	}
+	warm := NewClassifier()
+	for i := 0; i < 3; i++ {
+		for _, s := range summaries {
+			cold := NewClassifier()
+			wantClass, wantRule := cold.ClassifyExplained(entryWithSummary(s))
+			gotClass, gotRule := warm.ClassifyExplained(entryWithSummary(s))
+			if gotClass != wantClass || gotRule != wantRule {
+				t.Errorf("pass %d: memoized classify(%q) = (%v, %q), cold = (%v, %q)",
+					i, s, gotClass, gotRule, wantClass, wantRule)
+			}
+		}
+	}
+}
+
+func TestOverrideWinsOverMemo(t *testing.T) {
+	c := NewClassifier()
+	e := entryWithSummary("Buffer overflow in the kernel allows remote attackers to crash the system.")
+	if got := c.Classify(e); got != ClassKernel {
+		t.Fatalf("pre-override class = %v, want Kernel", got)
+	}
+	// The memo now holds the rule-table result for this summary; the
+	// per-CVE override must still take precedence.
+	c.Override(e.ID, ClassDriver)
+	if got, rule := c.ClassifyExplained(e); got != ClassDriver || rule != "override" {
+		t.Errorf("post-override classify = (%v, %q), want (Driver, override)", got, rule)
+	}
+}
+
 func TestFoldText(t *testing.T) {
 	got := foldText("TCP/IP-stack, v2!")
 	if !strings.Contains(got, " tcp ip stack ") {

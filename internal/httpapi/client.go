@@ -1,0 +1,165 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// Error is a decoded server error envelope. StatusCode is the HTTP
+// status the server answered with.
+type Error struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("httpapi: %d %s: %s", e.StatusCode, e.Code, e.Message)
+}
+
+// Client talks to an osdiv server. The zero HTTP field selects
+// http.DefaultClient.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP overrides the transport (httptest servers pass their own).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the server at base.
+func NewClient(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// GetRaw fetches a path (with optional query) and returns the raw body
+// bytes of a 200 response. Non-200 responses decode into *Error.
+func (c *Client) GetRaw(path string, query url.Values) ([]byte, error) {
+	u := c.Base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var env ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+			return nil, &Error{StatusCode: resp.StatusCode, Code: "malformed_error",
+				Message: string(body)}
+		}
+		return nil, &Error{StatusCode: resp.StatusCode, Code: env.Error.Code,
+			Message: env.Error.Message}
+	}
+	return body, nil
+}
+
+// get fetches and decodes a document.
+func get[T any](c *Client, path string, query url.Values) (T, error) {
+	var out T
+	body, err := c.GetRaw(path, query)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return out, fmt.Errorf("httpapi: decode %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health() (Health, error) { return get[Health](c, "/healthz", nil) }
+
+// Corpus fetches /corpus.
+func (c *Client) Corpus() (CorpusInfo, error) { return get[CorpusInfo](c, "/corpus", nil) }
+
+// Table1 fetches /api/table1.
+func (c *Client) Table1() (Table1, error) { return get[Table1](c, "/api/table1", nil) }
+
+// Table2 fetches /api/table2.
+func (c *Client) Table2() (Table2, error) { return get[Table2](c, "/api/table2", nil) }
+
+// Table3 fetches /api/table3.
+func (c *Client) Table3() (Table3, error) { return get[Table3](c, "/api/table3", nil) }
+
+// Table4 fetches /api/table4.
+func (c *Client) Table4() (Table4, error) { return get[Table4](c, "/api/table4", nil) }
+
+// Table5 fetches /api/table5 with the given split year (0 selects the
+// server default, the paper's 2005).
+func (c *Client) Table5(splitYear int) (Table5, error) {
+	q := url.Values{}
+	if splitYear != 0 {
+		q.Set("split", strconv.Itoa(splitYear))
+	}
+	return get[Table5](c, "/api/table5", q)
+}
+
+// Temporal fetches /api/temporal for one OS.
+func (c *Client) Temporal(osName string) (Temporal, error) {
+	return get[Temporal](c, "/api/temporal", url.Values{"os": {osName}})
+}
+
+// KWise fetches /api/kwise.
+func (c *Client) KWise() (KWise, error) { return get[KWise](c, "/api/kwise", nil) }
+
+// MostShared fetches /api/mostshared with the given listing size.
+func (c *Client) MostShared(n int) (MostShared, error) {
+	return get[MostShared](c, "/api/mostshared", url.Values{"n": {strconv.Itoa(n)}})
+}
+
+// Select fetches /api/select. top <= 0 returns every ranked set.
+func (c *Client) Select(k int, onePerFamily bool, toYear, top int) (Select, error) {
+	q := url.Values{
+		"k":  {strconv.Itoa(k)},
+		"to": {strconv.Itoa(toYear)},
+	}
+	if onePerFamily {
+		q.Set("one-per-family", "true")
+	}
+	if top > 0 {
+		q.Set("top", strconv.Itoa(top))
+	}
+	return get[Select](c, "/api/select", q)
+}
+
+// Releases fetches the default Table VI grid from /api/releases.
+func (c *Client) Releases() (Releases, error) { return get[Releases](c, "/api/releases", nil) }
+
+// ReleaseOverlap fetches one /api/releases cell.
+func (c *Client) ReleaseOverlap(a, va, b, vb string) (Releases, error) {
+	return get[Releases](c, "/api/releases", url.Values{
+		"a": {a}, "va": {va}, "b": {b}, "vb": {vb},
+	})
+}
+
+// Attack fetches /api/attack for one configuration.
+func (c *Client) Attack(name string, oses []string, f, trials int) (Attack, error) {
+	q := url.Values{
+		"name":   {name},
+		"os":     oses,
+		"f":      {strconv.Itoa(f)},
+		"trials": {strconv.Itoa(trials)},
+	}
+	return get[Attack](c, "/api/attack", q)
+}
+
+// SQLTable3 fetches /api/sqltable3 (available when the server was
+// started over an imported database).
+func (c *Client) SQLTable3() (SQLTable3, error) {
+	return get[SQLTable3](c, "/api/sqltable3", nil)
+}

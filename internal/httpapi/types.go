@@ -1,0 +1,214 @@
+// Package httpapi defines the wire format of the osdiv server mode —
+// the JSON documents every /api endpoint returns, the typed error
+// envelope — and a small HTTP client over them.
+//
+// The types live apart from internal/server so the server handlers,
+// the osdiv -json printers and the test clients all marshal the exact
+// same documents: byte-identity between `osdiv serve` responses and
+// `osdiv tables -json` output is a contract, not a coincidence.
+package httpapi
+
+import "encoding/json"
+
+// Health is the /healthz document.
+type Health struct {
+	Status string `json:"status"`
+}
+
+// CorpusInfo is the /corpus document: what the resident server loaded
+// and how it executes queries.
+type CorpusInfo struct {
+	Source       string   `json:"source"`
+	Engine       string   `json:"engine"`
+	Workers      int      `json:"workers"`
+	ValidEntries int      `json:"valid_entries"`
+	Distros      int      `json:"distros"`
+	OSNames      []string `json:"os_names"`
+	YearFrom     int      `json:"year_from"`
+	YearTo       int      `json:"year_to"`
+	SQL          bool     `json:"sql"`
+}
+
+// ValidityRow is one row of Table I.
+type ValidityRow struct {
+	OS          string `json:"os"`
+	Valid       int    `json:"valid"`
+	Unknown     int    `json:"unknown"`
+	Unspecified int    `json:"unspecified"`
+	Disputed    int    `json:"disputed"`
+}
+
+// Table1 is the /api/table1 document.
+type Table1 struct {
+	Rows     []ValidityRow `json:"rows"`
+	Distinct ValidityRow   `json:"distinct"`
+}
+
+// ClassRow is one row of Table II.
+type ClassRow struct {
+	OS      string `json:"os"`
+	Driver  int    `json:"driver"`
+	Kernel  int    `json:"kernel"`
+	SysSoft int    `json:"sys_soft"`
+	App     int    `json:"app"`
+}
+
+// Table2 is the /api/table2 document; SharesPct are the distinct-
+// vulnerability percentage shares of the four classes, in table order.
+type Table2 struct {
+	Rows      []ClassRow `json:"rows"`
+	SharesPct [4]float64 `json:"shares_pct"`
+}
+
+// PairRow is one row of Table III: per-OS totals and the shared count
+// under the three profiles (All / NoApp / NoApp+Remote-only).
+type PairRow struct {
+	A      string `json:"a"`
+	B      string `json:"b"`
+	TotalA [3]int `json:"total_a"`
+	TotalB [3]int `json:"total_b"`
+	All    int    `json:"all"`
+	NoApp  int    `json:"no_app"`
+	Remote int    `json:"remote"`
+}
+
+// Table3 is the /api/table3 document.
+type Table3 struct {
+	Rows               []PairRow `json:"rows"`
+	FilterReductionPct float64   `json:"filter_reduction_pct"`
+}
+
+// PartRow is one row of Table IV.
+type PartRow struct {
+	A       string `json:"a"`
+	B       string `json:"b"`
+	Driver  int    `json:"driver"`
+	Kernel  int    `json:"kernel"`
+	SysSoft int    `json:"sys_soft"`
+	Total   int    `json:"total"`
+}
+
+// Table4 is the /api/table4 document.
+type Table4 struct {
+	Rows []PartRow `json:"rows"`
+}
+
+// PeriodCell is one cell of Table V.
+type PeriodCell struct {
+	A        string `json:"a"`
+	B        string `json:"b"`
+	History  int    `json:"history"`
+	Observed int    `json:"observed"`
+}
+
+// Table5 is the /api/table5 document.
+type Table5 struct {
+	SplitYear int          `json:"split_year"`
+	Cells     []PeriodCell `json:"cells"`
+}
+
+// YearCount is one point of a Figure 2 temporal series.
+type YearCount struct {
+	Year  int `json:"year"`
+	Count int `json:"count"`
+}
+
+// Temporal is the /api/temporal document.
+type Temporal struct {
+	OS    string      `json:"os"`
+	Years []YearCount `json:"years"`
+}
+
+// KCount is one k-wise bucket.
+type KCount struct {
+	K     int `json:"k"`
+	Count int `json:"count"`
+}
+
+// KWise is the /api/kwise document: distinct valid vulnerabilities
+// affecting at least k OS products.
+type KWise struct {
+	Products []KCount `json:"products"`
+}
+
+// MostShared is the /api/mostshared document. The server streams the
+// IDs array; the bytes are identical to Marshal of the whole document.
+type MostShared struct {
+	N   int      `json:"n"`
+	IDs []string `json:"ids"`
+}
+
+// ReplicaSet is one ranked replica configuration.
+type ReplicaSet struct {
+	Members []string `json:"members"`
+	Shared  int      `json:"shared"`
+}
+
+// Select is the /api/select document.
+type Select struct {
+	K            int          `json:"k"`
+	OnePerFamily bool         `json:"one_per_family"`
+	ToYear       int          `json:"to_year"`
+	Sets         []ReplicaSet `json:"sets"`
+}
+
+// ReleaseCell is one per-release overlap cell (Table VI).
+type ReleaseCell struct {
+	A      string `json:"a"`
+	VA     string `json:"va"`
+	B      string `json:"b"`
+	VB     string `json:"vb"`
+	Shared int    `json:"shared"`
+}
+
+// Releases is the /api/releases document.
+type Releases struct {
+	Cells []ReleaseCell `json:"cells"`
+}
+
+// Attack is the /api/attack document: one Monte Carlo batch summary.
+type Attack struct {
+	Name        string   `json:"name"`
+	OSes        []string `json:"oses"`
+	F           int      `json:"f"`
+	Trials      int      `json:"trials"`
+	MeanTTC     float64  `json:"mean_ttc"`
+	MedianTTC   float64  `json:"median_ttc"`
+	SharedFatal float64  `json:"shared_fatal"`
+	Unbroken    int      `json:"unbroken"`
+}
+
+// SQLCell is one cell of the SQL-computed Table III matrix.
+type SQLCell struct {
+	A      string `json:"a"`
+	B      string `json:"b"`
+	Shared int    `json:"shared"`
+}
+
+// SQLTable3 is the /api/sqltable3 document.
+type SQLTable3 struct {
+	Cells []SQLCell `json:"cells"`
+}
+
+// ErrorBody is the payload of the error envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the JSON document of every non-200 response.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// Marshal renders a document in the server's canonical encoding:
+// compact JSON plus a trailing newline. Every producer — handlers,
+// the streaming encoder, the osdiv -json printers — emits exactly
+// these bytes, so clients may diff responses textually.
+func Marshal(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,88 @@
+package server_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"osdiversity"
+	"osdiversity/internal/server"
+)
+
+// fetch drains one endpoint through the real HTTP stack.
+func fetch(b *testing.B, client *http.Client, url string) {
+	resp, err := client.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || n == 0 {
+		b.Fatalf("GET %s: status %d, %d bytes", url, resp.StatusCode, n)
+	}
+}
+
+// benchServer is a resident server over the calibrated corpus shared by
+// the benchmarks in this file.
+func benchServer(b *testing.B, workers int) (*httptest.Server, *http.Client) {
+	b.Helper()
+	a, err := osdiversity.LoadCalibrated(osdiversity.WithParallelism(workers))
+	if err != nil {
+		b.Fatalf("LoadCalibrated: %v", err)
+	}
+	srv := server.New(a, server.Config{Source: "calibrated", Engine: "bitset", Workers: workers})
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	return ts, ts.Client()
+}
+
+// BenchmarkServerTable3Concurrent is the tentpole's load proof: many
+// clients hammering the heaviest table endpoint of the resident server.
+// The first request computes, everything after is coalesced cache
+// service, so the number approximates sustained per-request overhead
+// (HTTP stack + cached-body write) under concurrency.
+func BenchmarkServerTable3Concurrent(b *testing.B) {
+	ts, client := benchServer(b, 2)
+	url := ts.URL + "/api/table3"
+	fetch(b, client, url) // warm the cache outside the timer
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			fetch(b, client, url)
+		}
+	})
+}
+
+// BenchmarkServerTable3Cold measures the response-cache miss path:
+// every iteration builds a fresh server (empty body cache), so the
+// request rebuilds and re-encodes the document over the memoized Study.
+func BenchmarkServerTable3Cold(b *testing.B) {
+	a, err := osdiversity.LoadCalibrated(osdiversity.WithParallelism(2))
+	if err != nil {
+		b.Fatalf("LoadCalibrated: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := server.New(a, server.Config{Source: "calibrated", Engine: "bitset", Workers: 2})
+		ts := httptest.NewServer(srv.Handler())
+		fetch(b, ts.Client(), ts.URL+"/api/table3")
+		ts.Close()
+	}
+}
+
+// BenchmarkServerMostSharedStream measures the streamed listing path at
+// full corpus width (every valid entry in the ranking).
+func BenchmarkServerMostSharedStream(b *testing.B) {
+	ts, client := benchServer(b, 2)
+	url := fmt.Sprintf("%s/api/mostshared?n=%d", ts.URL, 1<<20)
+	fetch(b, client, url)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fetch(b, client, url)
+	}
+}

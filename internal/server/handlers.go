@@ -1,0 +1,255 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"osdiversity/internal/httpapi"
+)
+
+// DefaultSplitYear is the paper's Table V history/observed split, the
+// fallback for /api/table5 and /api/select — exported so the osdiv
+// -json printers render the same default document the server answers.
+const DefaultSplitYear = 2005
+
+// The remaining defaults the endpoints fall back to.
+const (
+	defaultMostShared = 3
+	defaultSelectK    = 4
+	defaultTrials     = 200
+)
+
+// intParam parses an optional integer query parameter with bounds.
+func intParam(q url.Values, name string, def, min, max int) (int, *apiError) {
+	raw := q.Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, errBadParam(fmt.Sprintf("%s=%q is not an integer", name, raw))
+	}
+	if n < min || n > max {
+		return 0, errBadParam(fmt.Sprintf("%s=%d out of range [%d, %d]", name, n, min, max))
+	}
+	return n, nil
+}
+
+// boolParam parses an optional boolean query parameter.
+func boolParam(q url.Values, name string) (bool, *apiError) {
+	raw := q.Get(name)
+	if raw == "" {
+		return false, nil
+	}
+	v, err := strconv.ParseBool(raw)
+	if err != nil {
+		return false, errBadParam(fmt.Sprintf("%s=%q is not a boolean", name, raw))
+	}
+	return v, nil
+}
+
+// handleHealth and handleCorpus bypass the limiter, singleflight and
+// cache: a liveness probe must answer immediately even when every
+// compute slot is occupied by heavy API requests, and both documents
+// are trivial to render per request.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.respondDirect(w, s.healthDoc())
+}
+
+func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	s.respondDirect(w, s.corpusDoc())
+}
+
+func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
+	s.respond(w, "table1", func() (any, *apiError) {
+		return BuildTable1(s.a), nil
+	})
+}
+
+func (s *Server) handleTable2(w http.ResponseWriter, r *http.Request) {
+	s.respond(w, "table2", func() (any, *apiError) {
+		return BuildTable2(s.a), nil
+	})
+}
+
+func (s *Server) handleTable3(w http.ResponseWriter, r *http.Request) {
+	s.respond(w, "table3", func() (any, *apiError) {
+		return BuildTable3(s.a), nil
+	})
+}
+
+func (s *Server) handleTable4(w http.ResponseWriter, r *http.Request) {
+	s.respond(w, "table4", func() (any, *apiError) {
+		return BuildTable4(s.a), nil
+	})
+}
+
+func (s *Server) handleTable5(w http.ResponseWriter, r *http.Request) {
+	split, aerr := intParam(r.URL.Query(), "split", DefaultSplitYear, 1900, 2100)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	s.respond(w, fmt.Sprintf("table5?split=%d", split), func() (any, *apiError) {
+		return BuildTable5(s.a, split), nil
+	})
+}
+
+func (s *Server) handleTemporal(w http.ResponseWriter, r *http.Request) {
+	osName := r.URL.Query().Get("os")
+	if osName == "" {
+		writeError(w, errBadParam("missing required parameter os"))
+		return
+	}
+	s.respond(w, "temporal?os="+osName, func() (any, *apiError) {
+		doc, err := BuildTemporal(s.a, osName)
+		if err != nil {
+			return nil, errBadParam(err.Error())
+		}
+		return doc, nil
+	})
+}
+
+func (s *Server) handleKWise(w http.ResponseWriter, r *http.Request) {
+	s.respond(w, "kwise", func() (any, *apiError) {
+		return BuildKWise(s.a), nil
+	})
+}
+
+// handleMostShared streams its (potentially 100k-entry) listing instead
+// of materializing the body; the Study-level memo already coalesces the
+// underlying bucket sort, so only the encoding is per-request.
+func (s *Server) handleMostShared(w http.ResponseWriter, r *http.Request) {
+	n, aerr := intParam(r.URL.Query(), "n", defaultMostShared, 1, 1<<30)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	var doc httpapi.MostShared
+	func() {
+		// Hold a limiter slot only for the build, released on panic
+		// too; streaming to a slow client must not pin a compute slot.
+		s.limiter <- struct{}{}
+		defer func() { <-s.limiter }()
+		doc = BuildMostShared(s.a, n)
+	}()
+	w.Header().Set("Content-Type", "application/json")
+	streamMostShared(w, doc)
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	k, aerr := intParam(q, "k", defaultSelectK, 1, 8)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	onePerFamily, aerr := boolParam(q, "one-per-family")
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	toYear, aerr := intParam(q, "to", DefaultSplitYear, 1900, 2100)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	top, aerr := intParam(q, "top", 0, 0, 1<<30)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	key := fmt.Sprintf("select?k=%d&opf=%t&to=%d&top=%d", k, onePerFamily, toYear, top)
+	s.respond(w, key, func() (any, *apiError) {
+		return BuildSelect(s.a, k, onePerFamily, toYear, top), nil
+	})
+}
+
+func (s *Server) handleReleases(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	a, va := q.Get("a"), q.Get("va")
+	b, vb := q.Get("b"), q.Get("vb")
+	set := 0
+	for _, v := range []string{a, va, b, vb} {
+		if v != "" {
+			set++
+		}
+	}
+	switch set {
+	case 0:
+		s.respond(w, "releases", func() (any, *apiError) {
+			doc, err := BuildReleases(s.a)
+			if err != nil {
+				return nil, errBadParam(err.Error())
+			}
+			return doc, nil
+		})
+	case 4:
+		key := "releases?" + url.Values{"a": {a}, "va": {va}, "b": {b}, "vb": {vb}}.Encode()
+		s.respond(w, key, func() (any, *apiError) {
+			doc, err := BuildReleaseOverlap(s.a, a, va, b, vb)
+			if err != nil {
+				return nil, errBadParam(err.Error())
+			}
+			return doc, nil
+		})
+	default:
+		writeError(w, errBadParam("release overlap needs all of a, va, b, vb (or none for the Table VI grid)"))
+	}
+}
+
+func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	oses := q["os"]
+	if len(oses) == 0 {
+		writeError(w, errBadParam("missing required repeated parameter os"))
+		return
+	}
+	f, aerr := intParam(q, "f", 1, 1, 16)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	if len(oses) != 3*f+1 {
+		writeError(w, errBadParam(fmt.Sprintf("got %d os members, need 3f+1 = %d", len(oses), 3*f+1)))
+		return
+	}
+	trials, aerr := intParam(q, "trials", defaultTrials, 1, 1_000_000)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	name := q.Get("name")
+	if name == "" {
+		name = "configuration"
+	}
+	key := "attack?" + url.Values{
+		"name": {name}, "os": oses,
+		"f": {strconv.Itoa(f)}, "trials": {strconv.Itoa(trials)},
+	}.Encode()
+	s.respond(w, key, func() (any, *apiError) {
+		doc, err := BuildAttack(s.a, name, oses, f, trials)
+		if err != nil {
+			return nil, errBadParam(err.Error())
+		}
+		return doc, nil
+	})
+}
+
+func (s *Server) handleSQLTable3(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.DBPath == "" {
+		writeError(w, &apiError{status: http.StatusNotFound, code: "no_database",
+			message: "server was not started over an imported database (osdiv -db ... serve)"})
+		return
+	}
+	s.respond(w, "sqltable3", func() (any, *apiError) {
+		doc, err := BuildSQLTable3(s.cfg.DBPath, s.cfg.Workers)
+		if err != nil {
+			return nil, &apiError{status: http.StatusInternalServerError,
+				code: "sql_failed", message: err.Error()}
+		}
+		return doc, nil
+	})
+}

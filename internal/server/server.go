@@ -1,0 +1,276 @@
+// Package server is the resident HTTP/JSON query service over the
+// memoized Study: `osdiv serve` loads a corpus once and answers every
+// facade query — the paper's tables, temporal series, k-wise listings,
+// replica selection, release overlaps, attack simulation and the
+// SQL-path Table III — from memory under concurrent load.
+//
+// The server is scale-honest rather than a thin mux:
+//
+//   - every /api endpoint validates its parameters and answers errors
+//     with the typed httpapi.ErrorEnvelope;
+//   - identical requests coalesce through a singleflight group, so N
+//     concurrent cold-cache requests trigger one Study computation and
+//     receive byte-identical bodies;
+//   - completed bodies land in a bounded response cache (the corpus is
+//     immutable for the life of the process, so cached bytes never go
+//     stale);
+//   - at most MaxInFlight computations run concurrently — a semaphore
+//     sized from the WithParallelism worker count, so a request burst
+//     queues instead of oversubscribing the pool;
+//   - large listings (/api/mostshared) stream their JSON array
+//     incrementally instead of materializing the body, and the streamed
+//     bytes are identical to httpapi.Marshal of the same document.
+//
+// Wire types live in internal/httpapi, shared with the osdiv -json
+// printers so CLI and server output can be diffed byte-for-byte.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"osdiversity"
+	"osdiversity/internal/httpapi"
+)
+
+// Config describes the corpus the server answers for and its execution
+// limits.
+type Config struct {
+	// Source names the loaded corpus for /corpus ("calibrated",
+	// "feeds:<dir>", "db:<path>", "synthetic:<n>").
+	Source string
+	// Engine is the analysis engine name ("bitset" or "scan").
+	Engine string
+	// Workers is the WithParallelism worker count the analysis was
+	// built with (1 = serial).
+	Workers int
+	// DBPath, when non-empty, enables /api/sqltable3 over the imported
+	// database.
+	DBPath string
+	// MaxInFlight bounds concurrently executing computations; 0 selects
+	// max(Workers, 1).
+	MaxInFlight int
+	// CacheLimit bounds the response cache entry count; 0 selects 1024.
+	CacheLimit int
+}
+
+// Server answers the query API over one immutable Analysis. Construct
+// with New.
+type Server struct {
+	a   *osdiversity.Analysis
+	cfg Config
+
+	limiter chan struct{}
+
+	mu    sync.Mutex
+	calls map[string]*call
+	cache map[string][]byte
+
+	computes atomic.Int64
+}
+
+// call is one in-flight singleflight computation.
+type call struct {
+	done chan struct{}
+	body []byte
+	err  *apiError
+}
+
+// apiError is a handler failure destined for the JSON error envelope.
+type apiError struct {
+	status  int
+	code    string
+	message string
+}
+
+func errBadParam(msg string) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: "bad_param", message: msg}
+}
+
+// New builds a server over an analysis. The analysis must have been
+// constructed with the same worker count as cfg.Workers reports.
+func New(a *osdiversity.Analysis, cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = cfg.Workers
+	}
+	if cfg.CacheLimit <= 0 {
+		cfg.CacheLimit = 1024
+	}
+	if cfg.Engine == "" {
+		cfg.Engine = "bitset"
+	}
+	if cfg.Source == "" {
+		cfg.Source = "calibrated"
+	}
+	return &Server{
+		a:       a,
+		cfg:     cfg,
+		limiter: make(chan struct{}, cfg.MaxInFlight),
+		calls:   make(map[string]*call),
+		cache:   make(map[string][]byte),
+	}
+}
+
+// Computes reports how many response bodies the server has computed
+// (cache misses that executed a build). The coalescing tests assert N
+// concurrent identical cold requests add exactly one.
+func (s *Server) Computes() int64 { return s.computes.Load() }
+
+// Handler returns the HTTP handler serving the whole API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.get(s.handleHealth))
+	mux.HandleFunc("/corpus", s.get(s.handleCorpus))
+	mux.HandleFunc("/api/table1", s.get(s.handleTable1))
+	mux.HandleFunc("/api/table2", s.get(s.handleTable2))
+	mux.HandleFunc("/api/table3", s.get(s.handleTable3))
+	mux.HandleFunc("/api/table4", s.get(s.handleTable4))
+	mux.HandleFunc("/api/table5", s.get(s.handleTable5))
+	mux.HandleFunc("/api/temporal", s.get(s.handleTemporal))
+	mux.HandleFunc("/api/kwise", s.get(s.handleKWise))
+	mux.HandleFunc("/api/mostshared", s.get(s.handleMostShared))
+	mux.HandleFunc("/api/select", s.get(s.handleSelect))
+	mux.HandleFunc("/api/releases", s.get(s.handleReleases))
+	mux.HandleFunc("/api/attack", s.get(s.handleAttack))
+	mux.HandleFunc("/api/sqltable3", s.get(s.handleSQLTable3))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, &apiError{status: http.StatusNotFound, code: "not_found",
+			message: "unknown endpoint " + r.URL.Path})
+	})
+	return mux
+}
+
+// get wraps a handler with the method check every endpoint shares.
+func (s *Server) get(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, &apiError{status: http.StatusMethodNotAllowed,
+				code: "method_not_allowed", message: r.Method + " not allowed; use GET"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// writeError emits the JSON error envelope.
+func writeError(w http.ResponseWriter, e *apiError) {
+	body, err := httpapi.Marshal(httpapi.ErrorEnvelope{
+		Error: httpapi.ErrorBody{Code: e.code, Message: e.message},
+	})
+	if err != nil {
+		http.Error(w, e.message, e.status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.status)
+	w.Write(body)
+}
+
+// writeBody emits a cached or freshly computed 200 body.
+func writeBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// respondDirect marshals and writes a document immediately, without
+// the limiter, singleflight or cache — for the cheap always-available
+// endpoints (/healthz, /corpus).
+func (s *Server) respondDirect(w http.ResponseWriter, doc any) {
+	body, err := httpapi.Marshal(doc)
+	if err != nil {
+		writeError(w, &apiError{status: http.StatusInternalServerError,
+			code: "encode_failed", message: err.Error()})
+		return
+	}
+	writeBody(w, body)
+}
+
+// respond serves one computed endpoint: response-cache lookup, then
+// singleflight coalescing, then the bounded compute path. key must
+// canonically encode every parameter the build depends on.
+func (s *Server) respond(w http.ResponseWriter, key string, build func() (any, *apiError)) {
+	s.mu.Lock()
+	if body, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		writeBody(w, body)
+		return
+	}
+	if c, ok := s.calls[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			writeError(w, c.err)
+			return
+		}
+		writeBody(w, c.body)
+		return
+	}
+	c := &call{done: make(chan struct{})}
+	s.calls[key] = c
+	s.mu.Unlock()
+
+	func() {
+		// The leader must always unregister the call and wake the
+		// waiters, even when a build panics — a wedged key would block
+		// every later request for this endpoint forever. A panic
+		// becomes a 500 envelope for the leader and all coalesced
+		// waiters.
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = &apiError{status: http.StatusInternalServerError,
+					code: "internal_panic", message: fmt.Sprint(r)}
+			}
+			s.mu.Lock()
+			delete(s.calls, key)
+			if c.err == nil {
+				s.storeLocked(key, c.body)
+			}
+			s.mu.Unlock()
+			close(c.done)
+		}()
+		c.body, c.err = s.compute(build)
+	}()
+
+	if c.err != nil {
+		writeError(w, c.err)
+		return
+	}
+	writeBody(w, c.body)
+}
+
+// compute runs one build under the in-flight limiter and marshals the
+// document.
+func (s *Server) compute(build func() (any, *apiError)) ([]byte, *apiError) {
+	s.limiter <- struct{}{}
+	defer func() { <-s.limiter }()
+	s.computes.Add(1)
+	doc, aerr := build()
+	if aerr != nil {
+		return nil, aerr
+	}
+	body, err := httpapi.Marshal(doc)
+	if err != nil {
+		return nil, &apiError{status: http.StatusInternalServerError,
+			code: "encode_failed", message: err.Error()}
+	}
+	return body, nil
+}
+
+// storeLocked inserts a body into the response cache, evicting an
+// arbitrary entry at the cap. The corpus is immutable, so entries never
+// go stale; the cap only bounds memory under parameter-sweep traffic.
+func (s *Server) storeLocked(key string, body []byte) {
+	if len(s.cache) >= s.cfg.CacheLimit {
+		for k := range s.cache {
+			delete(s.cache, k)
+			break
+		}
+	}
+	s.cache[key] = body
+}

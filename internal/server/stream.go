@@ -1,0 +1,50 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"osdiversity/internal/httpapi"
+)
+
+// healthDoc is the /healthz payload.
+func (s *Server) healthDoc() httpapi.Health {
+	return httpapi.Health{Status: "ok"}
+}
+
+// corpusDoc is the /corpus payload.
+func (s *Server) corpusDoc() httpapi.CorpusInfo {
+	return BuildCorpus(s.a, s.cfg.Source, s.cfg.Engine, s.cfg.Workers, s.cfg.DBPath != "")
+}
+
+// streamMostShared writes the MostShared document without materializing
+// the whole body: header fields first, then the IDs array element by
+// element through a buffered writer. The emitted bytes are identical to
+// httpapi.Marshal(doc) — TestStreamMatchesMarshal diffs them — so
+// streamed and cached endpoints stay textually comparable.
+func streamMostShared(w io.Writer, doc httpapi.MostShared) error {
+	bw := bufio.NewWriterSize(w, 32<<10)
+	if _, err := fmt.Fprintf(bw, `{"n":%d,"ids":[`, doc.N); err != nil {
+		return err
+	}
+	for i, id := range doc.IDs {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		elem, err := json.Marshal(id)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(elem); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"osdiversity"
+	"osdiversity/internal/httpapi"
+)
+
+// TestPanickingBuildDoesNotWedgeKey asserts a panic inside a build
+// surfaces as a 500 envelope and leaves the singleflight key usable —
+// a wedged key would block every later request for that endpoint.
+func TestPanickingBuildDoesNotWedgeKey(t *testing.T) {
+	a, err := osdiversity.LoadCalibrated()
+	if err != nil {
+		t.Fatalf("LoadCalibrated: %v", err)
+	}
+	s := New(a, Config{Workers: 1})
+
+	rec := httptest.NewRecorder()
+	s.respond(rec, "panicky", func() (any, *apiError) {
+		panic("boom")
+	})
+	if rec.Code != 500 || !strings.Contains(rec.Body.String(), `"internal_panic"`) {
+		t.Fatalf("panicking build answered %d %q, want 500 internal_panic envelope",
+			rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	s.respond(rec, "panicky", func() (any, *apiError) {
+		return httpapi.Health{Status: "recovered"}, nil
+	})
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "recovered") {
+		t.Fatalf("key wedged after panic: second respond answered %d %q",
+			rec.Code, rec.Body.String())
+	}
+}
+
+// TestStreamMatchesMarshal pins the streaming encoder to the canonical
+// compact encoding, including the empty-array edge the nil-slice
+// convention exists for.
+func TestStreamMatchesMarshal(t *testing.T) {
+	docs := []httpapi.MostShared{
+		{N: 0, IDs: []string{}},
+		{N: 1, IDs: []string{"CVE-2008-4609"}},
+		{N: 3, IDs: []string{"CVE-2008-4609", "CVE-2007-5365", "CVE-2008-1447"}},
+		{N: 2, IDs: []string{`quote"inside`, "uniécode"}},
+	}
+	for _, doc := range docs {
+		want, err := httpapi.Marshal(doc)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := streamMostShared(&buf, doc); err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("streamed %q differs from marshal %q", buf.Bytes(), want)
+		}
+	}
+}

@@ -335,6 +335,13 @@ func (a *Analysis) OSNames() []string {
 // ValidCount returns the number of distinct valid vulnerabilities.
 func (a *Analysis) ValidCount() int { return a.study.ValidEntries() }
 
+// YearRange returns the [min, max] publication years of the valid data
+// set (both zero on an empty analysis).
+func (a *Analysis) YearRange() (lo, hi int) { return a.study.YearRange() }
+
+// Parallelism reports the effective worker count of the analysis.
+func (a *Analysis) Parallelism() int { return a.study.Parallelism() }
+
 // ValidityRow is one row of the paper's Table I.
 type ValidityRow struct {
 	OS          string
