@@ -9,7 +9,6 @@ package osdiversity
 import (
 	"fmt"
 	"path/filepath"
-	"sort"
 	"testing"
 
 	"osdiversity/internal/attack"
@@ -636,26 +635,50 @@ func benchmarkFeedRead(b *testing.B, opts ...nvdfeed.ReaderOption) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	dir := b.TempDir()
-	byYear := make(map[int][]*cve.Entry)
-	for _, e := range c.Entries {
-		byYear[e.Year()] = append(byYear[e.Year()], e)
-	}
-	var paths []string
-	for y, entries := range byYear {
-		cve.SortEntries(entries)
-		path := filepath.Join(dir, fmt.Sprintf("nvdcve-2.0-%d.xml.gz", y))
-		if err := nvdfeed.WriteFile(path, fmt.Sprintf("CVE-%d", y), entries); err != nil {
-			b.Fatal(err)
-		}
-		paths = append(paths, path)
-	}
-	sort.Strings(paths)
+	paths := writeBenchFeeds(b, c.Entries)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		entries, err := nvdfeed.ReadFiles(paths, opts...)
 		if err != nil || len(entries) != len(c.Entries) {
 			b.Fatalf("read: %v, %d entries", err, len(entries))
+		}
+	}
+}
+
+// writeBenchFeeds renders entries as per-year feed files, paths in year
+// order.
+func writeBenchFeeds(b *testing.B, entries []*cve.Entry) []string {
+	b.Helper()
+	dir := b.TempDir()
+	var paths []string
+	for _, g := range corpus.SplitByYear(entries) {
+		path := filepath.Join(dir, fmt.Sprintf("nvdcve-2.0-%d.xml.gz", g.Year))
+		if err := nvdfeed.WriteFile(path, fmt.Sprintf("CVE-%d", g.Year), g.Entries); err != nil {
+			b.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+// BenchmarkFeedStreamParallel measures the bounded streaming pipeline
+// over the same per-year feed set (the StreamFeeds hot path) — the
+// drain-and-discard shape a constant-memory consumer sees.
+func BenchmarkFeedStreamParallel(b *testing.B) {
+	c, err := corpus.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths := writeBenchFeeds(b, c.Entries)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := nvdfeed.StreamFiles(paths, nvdfeed.Workers(benchWorkers))
+		n := 0
+		for range st.Entries() {
+			n++
+		}
+		if err := st.Err(); err != nil || n != len(c.Entries) {
+			b.Fatalf("stream: %v, %d entries", err, n)
 		}
 	}
 }

@@ -6,9 +6,14 @@
 //
 //	nvdimport -db study.db feeds/nvdcve-2.0-*.xml.gz
 //
-// With -table3 the import finishes by running the grouped pairwise
-// SQL query (the paper's Table III v(AB) matrix) against the freshly
-// written database, as a smoke test of the SQL path.
+// With -stream the feeds flow through the bounded streaming pipeline
+// straight into the store (constant ingestion memory, byte-identical
+// database). With -lenient malformed entries are skipped and counted
+// instead of failing the import; the count is printed so nothing is
+// silently lost. With -table3 the import finishes by running the
+// grouped pairwise SQL query (the paper's Table III v(AB) matrix)
+// against the freshly written database, as a smoke test of the SQL
+// path.
 package main
 
 import (
@@ -25,19 +30,33 @@ func main() {
 	log.SetPrefix("nvdimport: ")
 	db := flag.String("db", "study.db", "path of the database file to write")
 	workers := flag.Int("workers", 1, "worker count for decoding, ingestion and SQL probes (0 = all CPUs)")
+	stream := flag.Bool("stream", false, "ingest through the bounded streaming pipeline (constant memory)")
+	lenient := flag.Bool("lenient", false, "skip and count malformed feed entries instead of failing")
 	table3 := flag.Bool("table3", false, "after importing, print the Table III pairwise matrix via the SQL engine")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: nvdimport [-db study.db] [-workers n] [-table3] feed.xml[.gz]...")
+		fmt.Fprintln(os.Stderr, "usage: nvdimport [-db study.db] [-workers n] [-stream] [-lenient] [-table3] feed.xml[.gz]...")
 		os.Exit(2)
 	}
 
-	stored, skipped, err := osdiversity.ImportFeeds(*db, flag.Args(), osdiversity.WithParallelism(*workers))
+	var stats osdiversity.FeedStats
+	opts := []osdiversity.Option{
+		osdiversity.WithParallelism(*workers),
+		osdiversity.WithFeedStats(&stats),
+	}
+	if *lenient {
+		opts = append(opts, osdiversity.WithLenient())
+	}
+	importFeeds := osdiversity.ImportFeeds
+	if *stream {
+		importFeeds = osdiversity.ImportFeedsStream
+	}
+	stored, skipped, err := importFeeds(*db, flag.Args(), opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("imported %d entries (%d skipped: no clustered OS product) into %s\n",
-		stored, skipped, *db)
+	fmt.Printf("imported %d entries (%d skipped: no clustered OS product, %d malformed entries dropped) into %s\n",
+		stored, skipped, stats.MalformedSkipped, *db)
 
 	if *table3 {
 		cells, err := osdiversity.SQLPairwiseShared(*db, osdiversity.WithParallelism(*workers))

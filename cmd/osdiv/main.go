@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	osdiv [-db study.db | -feeds dir] <subcommand>
+//	osdiv [-db study.db | -feeds dir [-stream]] <subcommand>
 //
 // Subcommands:
 //
@@ -47,6 +47,7 @@ func main() {
 	feeds := flag.String("feeds", "", "analyze XML feeds from this directory")
 	workers := flag.Int("workers", 1, "worker count for ingestion and analysis (0 = all CPUs)")
 	engine := flag.String("engine", "bitset", "analysis engine: bitset (columnar index) or scan (record walk)")
+	stream := flag.Bool("stream", false, "with -feeds, ingest through the bounded streaming pipeline (constant memory)")
 	synthetic := flag.Int("synthetic", 0, "analyze a seeded synthetic modern-NVD corpus of this many entries")
 	distros := flag.Int("distros", 32, "synthetic universe width (with -synthetic)")
 	seed := flag.Uint64("seed", 1, "synthetic corpus seed (with -synthetic)")
@@ -64,7 +65,7 @@ func main() {
 	}
 
 	cfg := loadConfig{
-		db: *db, feeds: *feeds, workers: *workers, engine: *engine,
+		db: *db, feeds: *feeds, workers: *workers, engine: *engine, stream: *stream,
 		synthetic: *synthetic, distros: *distros, seed: *seed,
 	}
 	a, err := loadAnalysis(cfg)
@@ -97,7 +98,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir | -synthetic n] [-workers n] [-engine bitset|scan] tables|figures|kwise|select|releases|simulate|sqltable3|serve [options]")
+	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir [-stream] | -synthetic n] [-workers n] [-engine bitset|scan] tables|figures|kwise|select|releases|simulate|sqltable3|serve [options]")
 	os.Exit(2)
 }
 
@@ -124,6 +125,7 @@ type loadConfig struct {
 	feeds     string
 	workers   int
 	engine    string
+	stream    bool
 	synthetic int
 	distros   int
 	seed      uint64
@@ -138,6 +140,9 @@ func loadAnalysis(cfg loadConfig) (*osdiversity.Analysis, error) {
 	default:
 		return nil, fmt.Errorf("unknown engine %q (want bitset or scan)", cfg.engine)
 	}
+	if cfg.stream && cfg.feeds == "" {
+		return nil, fmt.Errorf("-stream needs -feeds (the streaming pipeline ingests XML feeds)")
+	}
 	switch {
 	case cfg.synthetic > 0:
 		return osdiversity.LoadSynthetic(osdiversity.SyntheticSpec{
@@ -149,6 +154,9 @@ func loadAnalysis(cfg loadConfig) (*osdiversity.Analysis, error) {
 		matches, err := filepath.Glob(filepath.Join(cfg.feeds, "*.xml*"))
 		if err != nil || len(matches) == 0 {
 			return nil, fmt.Errorf("no feeds found in %s", cfg.feeds)
+		}
+		if cfg.stream {
+			return osdiversity.StreamFeeds(matches, opts...)
 		}
 		return osdiversity.LoadFeeds(matches, opts...)
 	default:
@@ -205,7 +213,11 @@ func runTablesJSON(a *osdiversity.Analysis, which int) error {
 		2: func() (any, error) { return server.BuildTable2(a), nil },
 		3: func() (any, error) { return server.BuildTable3(a), nil },
 		4: func() (any, error) { return server.BuildTable4(a), nil },
-		5: func() (any, error) { return server.BuildTable5(a, server.DefaultSplitYear), nil },
+		// The split year canonicalizes exactly as the server's cache-key
+		// layer does, so the printed bytes match /api/table5 on any corpus.
+		5: func() (any, error) {
+			return server.BuildTable5(a, server.CanonSplitYear(a, server.DefaultSplitYear)), nil
+		},
 		6: func() (any, error) { return server.BuildReleases(a) },
 	}
 	emit := func(n int) error {

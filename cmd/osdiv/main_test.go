@@ -161,6 +161,42 @@ func TestSQLTable3Smoke(t *testing.T) {
 	}
 }
 
+// TestStreamFeedsSmoke asserts `-feeds -stream` prints exactly what the
+// materialized feed load prints, and that -stream without -feeds fails
+// with a usable diagnostic.
+func TestStreamFeedsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates feeds and loads them twice")
+	}
+	dir := t.TempDir()
+	feedDir := filepath.Join(dir, "feeds")
+	if _, err := osdiversity.GenerateFeeds(feedDir, osdiversity.WithParallelism(4)); err != nil {
+		t.Fatalf("GenerateFeeds: %v", err)
+	}
+	streamed, stderr, code := runOsdiv(t, "-feeds", feedDir, "-stream", "-workers", "4", "tables", "-t", "1")
+	if code != 0 {
+		t.Fatalf("streamed tables exit code %d, stderr: %s", code, stderr)
+	}
+	loaded, stderr, code := runOsdiv(t, "-feeds", feedDir, "-workers", "4", "tables", "-t", "1")
+	if code != 0 {
+		t.Fatalf("materialized tables exit code %d, stderr: %s", code, stderr)
+	}
+	if streamed != loaded {
+		t.Errorf("-stream output differs from materialized output\n got: %.300s\nwant: %.300s", streamed, loaded)
+	}
+	if !strings.Contains(streamed, "1887") {
+		t.Errorf("streamed Table I missing the paper's 1887 distinct count:\n%.1000s", streamed)
+	}
+
+	_, stderr, code = runOsdiv(t, "-stream", "tables")
+	if code == 0 {
+		t.Fatal("-stream without -feeds succeeded, want failure")
+	}
+	if !strings.Contains(stderr, "-stream needs -feeds") {
+		t.Errorf("stderr missing -stream diagnostic: %s", stderr)
+	}
+}
+
 func TestParseServeFlags(t *testing.T) {
 	t.Run("defaults", func(t *testing.T) {
 		opts, err := parseServeFlags(nil)

@@ -1,0 +1,158 @@
+//go:build !race
+
+// The constant-footprint acceptance check of the streaming pipeline:
+// peak ingestion allocation must stay flat (within 1.5×, plus a small
+// allocator slack) while feed volume grows 4× — the property that lets
+// feeds larger than memory ingest. Race builds skip it: the detector's
+// shadow memory distorts every heap measurement.
+
+package osdiversity
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"osdiversity/internal/nvdfeed"
+)
+
+// Footprint corpus volumes: the 4× set has exactly four times the
+// entries of the 1× set over the same universe and year span.
+const (
+	footprint1x = 6_000
+	footprint4x = 24_000
+)
+
+var (
+	footprintOnce  sync.Once
+	footprintErr   error
+	footprintPaths map[int][]string // volume -> feed files
+)
+
+// footprintFeeds renders the two synthetic feed sets once per process.
+func footprintFeeds(tb testing.TB) map[int][]string {
+	tb.Helper()
+	footprintOnce.Do(func() {
+		footprintPaths = make(map[int][]string)
+		for _, volume := range []int{footprint1x, footprint4x} {
+			dir, err := os.MkdirTemp("", "osdiv-footprint-*")
+			if err != nil {
+				footprintErr = err
+				return
+			}
+			paths, err := GenerateSyntheticFeeds(dir, SyntheticSpec{
+				Entries: volume, Distros: 16, Seed: 11,
+			}, WithParallelism(4))
+			if err != nil {
+				footprintErr = err
+				return
+			}
+			footprintPaths[volume] = paths
+		}
+	})
+	if footprintErr != nil {
+		tb.Fatalf("footprint feeds: %v", footprintErr)
+	}
+	return footprintPaths
+}
+
+// peakStreamFootprint drains a stream while sampling the heap,
+// returning the entry count and the peak allocation above the
+// pre-stream baseline.
+func peakStreamFootprint(tb testing.TB, paths []string, workers int) (entries int, peak uint64) {
+	tb.Helper()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+	st := nvdfeed.StreamFiles(paths, nvdfeed.Workers(workers))
+	defer st.Close()
+	var maxHeap uint64
+	for range st.Entries() {
+		entries++
+		if entries%512 == 0 {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > maxHeap {
+				maxHeap = ms.HeapAlloc
+			}
+		}
+	}
+	if err := st.Err(); err != nil {
+		tb.Fatalf("stream: %v", err)
+	}
+	if maxHeap <= base {
+		return entries, 0
+	}
+	return entries, maxHeap - base
+}
+
+// materializedLive measures the heap the materialized path retains once
+// the whole 4× entry slice is resident — the reference the streaming
+// peak must stay well under.
+func materializedLive(tb testing.TB, paths []string) uint64 {
+	tb.Helper()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+	entries, err := nvdfeed.ReadFiles(paths, nvdfeed.Workers(4))
+	if err != nil {
+		tb.Fatalf("ReadFiles: %v", err)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	live := ms.HeapAlloc
+	runtime.KeepAlive(entries)
+	if live <= base {
+		return 0
+	}
+	return live - base
+}
+
+// footprintSlack absorbs allocator and GC-timing noise in the flatness
+// comparison: both volumes' peaks sit within a few MB of each other,
+// while the materialized path grows by tens of MB per volume step.
+const footprintSlack = 8 << 20
+
+func checkFootprintFlat(tb testing.TB, workers int) (peak1, peak4 uint64) {
+	feeds := footprintFeeds(tb)
+	n1, peak1 := peakStreamFootprint(tb, feeds[footprint1x], workers)
+	n4, peak4 := peakStreamFootprint(tb, feeds[footprint4x], workers)
+	if n1 != footprint1x || n4 != footprint4x {
+		tb.Fatalf("drained %d and %d entries, want %d and %d", n1, n4, footprint1x, footprint4x)
+	}
+	if limit := peak1 + peak1/2 + footprintSlack; peak4 > limit {
+		tb.Fatalf("streaming peak grew with volume: 1x=%d bytes, 4x=%d bytes (limit %d) — not constant footprint",
+			peak1, peak4, limit)
+	}
+	return peak1, peak4
+}
+
+// TestStreamIngestConstantFootprint is the acceptance gate: 4× the feed
+// volume must not grow the streaming peak beyond 1.5× (plus slack), and
+// the peak must stay under what the materialized path retains just to
+// hold the 4× slice.
+func TestStreamIngestConstantFootprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders two synthetic feed corpora")
+	}
+	peak1, peak4 := checkFootprintFlat(t, 4)
+	live := materializedLive(t, footprintFeeds(t)[footprint4x])
+	t.Logf("stream peak 1x=%dKB 4x=%dKB; materialized 4x live=%dKB", peak1>>10, peak4>>10, live>>10)
+	if peak4 >= live {
+		t.Errorf("streaming peak (%d bytes) not below materialized 4x live heap (%d bytes)", peak4, live)
+	}
+}
+
+// BenchmarkStreamIngestFootprint is the CI form of the same check (its
+// ns/op lands in BENCH_core.json under the regression gate); each
+// iteration streams both volumes and fails on a non-flat peak.
+func BenchmarkStreamIngestFootprint(b *testing.B) {
+	footprintFeeds(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, peak4 := checkFootprintFlat(b, 4)
+		b.ReportMetric(float64(peak4), "peak-bytes")
+	}
+}

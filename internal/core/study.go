@@ -141,6 +141,15 @@ func WithClassifier(c *classify.Classifier) Option {
 // Disputed are kept aside and reported by ValidityTable but excluded
 // from every analysis, exactly as in §III-A.
 func NewStudy(entries []*cve.Entry, opts ...Option) *Study {
+	s := newStudyShell(opts)
+	s.ingest(entries)
+	s.finalize()
+	return s
+}
+
+// newStudyShell builds an empty Study with its universe frozen but no
+// entries ingested — the shared seed of NewStudy and NewBuilder.
+func newStudyShell(opts []Option) *Study {
 	s := &Study{
 		registry:   osmap.NewRegistry(),
 		classifier: classify.NewClassifier(),
@@ -169,7 +178,6 @@ func NewStudy(entries []*cve.Entry, opts ...Option) *Study {
 			s.pairAt[j*s.nd+i] = pi
 		}
 	}
-	s.ingest(entries)
 	return s
 }
 
@@ -218,10 +226,14 @@ func (s *Study) ingest(entries []*cve.Entry) {
 			s.records = append(s.records, out[i].rec)
 		}
 	}
-	// Order valid records by publication year so the bitset index can
-	// answer period and window queries over contiguous bit ranges. The
-	// sort is stable and every table is an aggregate, so all engines see
-	// identical results.
+}
+
+// finalize orders valid records by publication year so the bitset index
+// can answer period and window queries over contiguous bit ranges. The
+// sort is stable and every table is an aggregate, so all engines see
+// identical results — and a Study built from any batch split of the same
+// entry sequence (see Builder) lands on the identical record layout.
+func (s *Study) finalize() {
 	sort.SliceStable(s.records, func(i, j int) bool { return s.records[i].year < s.records[j].year })
 }
 

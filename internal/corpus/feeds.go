@@ -1,0 +1,38 @@
+package corpus
+
+import (
+	"sort"
+
+	"osdiversity/internal/cve"
+)
+
+// YearGroup is one publication year's entries, ID-sorted — one NVD feed
+// file's worth of corpus.
+type YearGroup struct {
+	Year    int
+	Entries []*cve.Entry
+}
+
+// SplitByYear groups entries into per-year feed sets the way NVD
+// distributes them (years ascending, entries ID-sorted within each
+// year). Every feed writer — the facade's per-year renderer, the test
+// fixtures, the benchmarks — shares this grouping so the files they
+// produce round-trip identically. The input slice is not modified.
+func SplitByYear(entries []*cve.Entry) []YearGroup {
+	byYear := make(map[int][]*cve.Entry)
+	for _, e := range entries {
+		byYear[e.Year()] = append(byYear[e.Year()], e)
+	}
+	years := make([]int, 0, len(byYear))
+	for y := range byYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	out := make([]YearGroup, 0, len(years))
+	for _, y := range years {
+		g := YearGroup{Year: y, Entries: byYear[y]}
+		cve.SortEntries(g.Entries)
+		out = append(out, g)
+	}
+	return out
+}

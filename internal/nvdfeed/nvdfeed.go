@@ -18,7 +18,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"osdiversity/internal/cpe"
@@ -86,7 +86,8 @@ type xmlBaseMetrics struct {
 type Reader struct {
 	dec     *xml.Decoder
 	lenient bool
-	skipped int
+	skipped atomic.Int64
+	stats   []*SkipStats
 	workers int
 	closers []io.Closer
 }
@@ -161,35 +162,33 @@ func (r *Reader) Close() error {
 }
 
 // Skipped reports how many entries a lenient reader has dropped so far.
-func (r *Reader) Skipped() int { return r.skipped }
+func (r *Reader) Skipped() int { return int(r.skipped.Load()) }
+
+// noteSkip counts one dropped entry, both on the reader and on every
+// attached SkipStats aggregate. The pipelined paths skip from more than
+// one goroutine, hence the atomics.
+func (r *Reader) noteSkip() {
+	r.skipped.Add(1)
+	for _, st := range r.stats {
+		st.n.Add(1)
+	}
+}
 
 // Next returns the next entry in the feed, or io.EOF when the feed is
 // exhausted.
 func (r *Reader) Next() (*cve.Entry, error) {
 	for {
-		tok, err := r.dec.Token()
+		raw, err := r.nextRaw()
 		if err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil, io.EOF
-			}
-			return nil, fmt.Errorf("nvdfeed: token: %w", err)
+			return nil, err
 		}
-		start, ok := tok.(xml.StartElement)
-		if !ok || start.Name.Local != "entry" {
-			continue
-		}
-		var raw xmlEntry
-		if err := r.dec.DecodeElement(&raw, &start); err != nil {
-			if r.lenient {
-				r.skipped++
-				continue
-			}
-			return nil, fmt.Errorf("nvdfeed: decode entry: %w", err)
+		if raw == nil {
+			continue // lenient decode skip
 		}
 		entry, err := raw.toEntry()
 		if err != nil {
 			if r.lenient {
-				r.skipped++
+				r.noteSkip()
 				continue
 			}
 			return nil, err
@@ -200,10 +199,18 @@ func (r *Reader) Next() (*cve.Entry, error) {
 
 // ReadAll drains the reader into a slice. With Workers(n > 1) the
 // structural XML decode stays sequential while the per-entry conversion
-// runs on the worker pool; results keep feed order.
+// runs on the worker pool over a bounded window (see convertPipeline in
+// stream.go); results keep feed order.
 func (r *Reader) ReadAll() ([]*cve.Entry, error) {
 	if r.workers > 1 {
-		return r.readAllParallel()
+		var out []*cve.Entry
+		if err := r.convertPipeline(func(e *cve.Entry) bool {
+			out = append(out, e)
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 	var out []*cve.Entry
 	for {
@@ -218,78 +225,6 @@ func (r *Reader) ReadAll() ([]*cve.Entry, error) {
 	}
 }
 
-// readAllParallel is the two-stage decode pipeline: stage one walks the
-// token stream collecting raw entry elements, stage two converts them to
-// cve.Entry values concurrently, writing each result to its input index
-// so order is deterministic.
-func (r *Reader) readAllParallel() ([]*cve.Entry, error) {
-	var raws []xmlEntry
-	for {
-		tok, err := r.dec.Token()
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			return nil, fmt.Errorf("nvdfeed: token: %w", err)
-		}
-		start, ok := tok.(xml.StartElement)
-		if !ok || start.Name.Local != "entry" {
-			continue
-		}
-		var raw xmlEntry
-		if err := r.dec.DecodeElement(&raw, &start); err != nil {
-			if r.lenient {
-				r.skipped++
-				continue
-			}
-			return nil, fmt.Errorf("nvdfeed: decode entry: %w", err)
-		}
-		raws = append(raws, raw)
-	}
-
-	entries := make([]*cve.Entry, len(raws))
-	errs := make([]error, len(raws))
-	workers := r.workers
-	if workers > len(raws) {
-		workers = len(raws)
-	}
-	if workers > 1 {
-		chunk := (len(raws) + workers - 1) / workers
-		var wg sync.WaitGroup
-		for lo := 0; lo < len(raws); lo += chunk {
-			hi := lo + chunk
-			if hi > len(raws) {
-				hi = len(raws)
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					entries[i], errs[i] = raws[i].toEntry()
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
-	} else {
-		for i := range raws {
-			entries[i], errs[i] = raws[i].toEntry()
-		}
-	}
-
-	out := make([]*cve.Entry, 0, len(entries))
-	for i := range entries {
-		if errs[i] != nil {
-			if r.lenient {
-				r.skipped++
-				continue
-			}
-			return nil, errs[i]
-		}
-		out = append(out, entries[i])
-	}
-	return out, nil
-}
-
 // ReadFile parses a whole feed file.
 func ReadFile(path string, opts ...ReaderOption) ([]*cve.Entry, error) {
 	r, err := OpenFile(path, opts...)
@@ -301,47 +236,20 @@ func ReadFile(path string, opts ...ReaderOption) ([]*cve.Entry, error) {
 }
 
 // ReadFiles parses several feed files, concatenating the entries in path
-// order. With Workers(n > 1) up to n files decode concurrently (each
-// also running the two-stage entry pipeline), which is the ingestion
-// fast path for per-year feed directories.
+// order. It is a thin wrapper over the StreamFiles pipeline: with
+// Workers(n > 1) up to n files decode concurrently through bounded
+// channels, which is the ingestion fast path for per-year feed
+// directories. Lenient skip counts aggregate into any WithSkipStats
+// option (they are not silently dropped with the per-file readers).
 func ReadFiles(paths []string, opts ...ReaderOption) ([]*cve.Entry, error) {
-	probe := NewReader(nil, opts...)
-	if probe.workers <= 1 || len(paths) == 1 {
-		var out []*cve.Entry
-		for _, path := range paths {
-			es, err := ReadFile(path, opts...)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, es...)
-		}
-		return out, nil
-	}
-
-	// With many files the cross-file fan-out already saturates the pool;
-	// forcing each file back to the streaming decoder avoids stacking the
-	// within-file pipeline on top of it.
-	perFileOpts := append(append([]ReaderOption(nil), opts...), Workers(1))
-	perFile := make([][]*cve.Entry, len(paths))
-	errs := make([]error, len(paths))
-	sem := make(chan struct{}, probe.workers)
-	var wg sync.WaitGroup
-	for i, path := range paths {
-		wg.Add(1)
-		go func(i int, path string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			perFile[i], errs[i] = ReadFile(path, perFileOpts...)
-		}(i, path)
-	}
-	wg.Wait()
+	st := StreamFiles(paths, opts...)
+	defer st.Close()
 	var out []*cve.Entry
-	for i := range paths {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		out = append(out, perFile[i]...)
+	for e := range st.Entries() {
+		out = append(out, e)
+	}
+	if err := st.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -599,6 +507,61 @@ func WriteFeed(w io.Writer, feedName string, entries []*cve.Entry) error {
 
 // WriteFile writes a feed file, gzip-compressing ".gz" paths.
 func WriteFile(path, feedName string, entries []*cve.Entry) (err error) {
+	return writeFileFunc(path, func(w io.Writer) error {
+		return WriteFeed(w, feedName, entries)
+	})
+}
+
+// WriteFileWithMalformed writes a feed file containing the entries in
+// order plus `malformed` syntactically well-formed but unconvertible
+// <entry> elements (bad CVE identifiers) interleaved at evenly spaced
+// positions. It renders the fixtures the lenient-ingestion tests and
+// smoke flows feed the pipeline: a strict reader fails on such a file,
+// a lenient one must skip exactly `malformed` entries and report the
+// count instead of silently dropping it.
+func WriteFileWithMalformed(path, feedName string, entries []*cve.Entry, malformed int) error {
+	return writeFileFunc(path, func(w io.Writer) error {
+		fw := NewWriter(w)
+		if err := fw.Begin(feedName); err != nil {
+			return err
+		}
+		writeBad := func(seq int) error {
+			_, err := fmt.Fprintf(w, "  <entry id=\"bad-%d\">\n"+
+				"    <vuln:cve-id>not-a-cve-%d</vuln:cve-id>\n"+
+				"    <vuln:published-datetime>2001-01-01T00:00:00.000-00:00</vuln:published-datetime>\n"+
+				"    <vuln:summary>malformed fixture entry</vuln:summary>\n"+
+				"  </entry>\n", seq, seq)
+			return err
+		}
+		interval := 1
+		if malformed > 0 {
+			interval = len(entries)/malformed + 1
+		}
+		injected := 0
+		for i, e := range entries {
+			if injected < malformed && i%interval == 0 {
+				if err := writeBad(injected); err != nil {
+					return err
+				}
+				injected++
+			}
+			if err := fw.Write(e); err != nil {
+				return err
+			}
+		}
+		for injected < malformed {
+			if err := writeBad(injected); err != nil {
+				return err
+			}
+			injected++
+		}
+		return fw.End()
+	})
+}
+
+// writeFileFunc opens path (gzip-compressing ".gz") and hands the
+// stream to body, closing everything in order.
+func writeFileFunc(path string, body func(io.Writer) error) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("nvdfeed: %w", err)
@@ -618,7 +581,7 @@ func WriteFile(path, feedName string, entries []*cve.Entry) (err error) {
 		}()
 		w = gz
 	}
-	return WriteFeed(w, feedName, entries)
+	return body(w)
 }
 
 func xmlEscape(s string) string {

@@ -3,7 +3,6 @@ package nvdfeed
 import (
 	"path/filepath"
 	"reflect"
-	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -14,33 +13,22 @@ import (
 
 // writeCorpusFeeds renders the calibrated corpus into per-year feed
 // files and returns the paths in year order.
-func writeCorpusFeeds(t *testing.T) ([]string, []*cve.Entry) {
+func writeCorpusFeeds(t testing.TB) ([]string, []*cve.Entry) {
 	t.Helper()
 	c, err := corpus.Generate()
 	if err != nil {
 		t.Fatalf("corpus.Generate: %v", err)
 	}
-	byYear := make(map[int][]*cve.Entry)
-	for _, e := range c.Entries {
-		byYear[e.Year()] = append(byYear[e.Year()], e)
-	}
-	var years []int
-	for y := range byYear {
-		years = append(years, y)
-	}
-	sort.Ints(years)
 	dir := t.TempDir()
 	var paths []string
 	var want []*cve.Entry
-	for _, y := range years {
-		entries := byYear[y]
-		cve.SortEntries(entries)
-		path := filepath.Join(dir, "nvdcve-2.0-"+strconv.Itoa(y)+".xml.gz")
-		if err := WriteFile(path, "CVE-"+strconv.Itoa(y), entries); err != nil {
-			t.Fatalf("WriteFile(%d): %v", y, err)
+	for _, g := range corpus.SplitByYear(c.Entries) {
+		path := filepath.Join(dir, "nvdcve-2.0-"+strconv.Itoa(g.Year)+".xml.gz")
+		if err := WriteFile(path, "CVE-"+strconv.Itoa(g.Year), g.Entries); err != nil {
+			t.Fatalf("WriteFile(%d): %v", g.Year, err)
 		}
 		paths = append(paths, path)
-		want = append(want, entries...)
+		want = append(want, g.Entries...)
 	}
 	return paths, want
 }

@@ -1,0 +1,393 @@
+package nvdfeed
+
+// This file is the bounded-channel streaming pipeline: entries flow from
+// the XML tokenizer to the consumer through fixed-capacity channels, so
+// feed sets far larger than memory ingest with a constant footprint. The
+// pipeline has three shapes, all emitting entries in exact feed order
+// (path order, in-file order), so every downstream digest is identical
+// to the materialized ReadFiles path:
+//
+//   - workers <= 1: one goroutine walks the files with the sequential
+//     Reader and sends entries through the output window.
+//   - one file, workers > 1: convertPipeline — the tokenizer fills a
+//     bounded window of raw elements, the worker pool converts them
+//     concurrently, and a collector emits the results in order.
+//   - many files, workers > 1: up to `workers` files decode concurrently
+//     (mirroring the old ReadFiles fan-out), each into its own bounded
+//     channel; the collector drains the per-file channels in path order.
+//
+// At most (workers + 1) × streamWindow entries are in flight at any
+// moment (the per-file/stage windows plus the output window) — a
+// constant, independent of feed volume.
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"osdiversity/internal/cve"
+)
+
+// streamWindow is the per-channel entry capacity of the pipeline — the
+// lookahead bound between the decode and consume stages.
+const streamWindow = 256
+
+// SkipStats aggregates lenient-skip counts across every reader that an
+// operation opens (ReadFile, ReadFiles, StreamFiles spawn per-file
+// readers internally, whose own Skipped() counters are unreachable).
+// Attach one with WithSkipStats; the counter is safe for concurrent use.
+type SkipStats struct {
+	n atomic.Int64
+}
+
+// Skipped reports how many malformed entries lenient readers have
+// dropped into this aggregate so far.
+func (s *SkipStats) Skipped() int { return int(s.n.Load()) }
+
+// WithSkipStats makes the reader add every lenient skip to st, in
+// addition to its own Skipped counter. The batch helpers propagate the
+// option to the readers they open internally, so callers of ReadFiles
+// and StreamFiles can account for every dropped entry.
+func WithSkipStats(st *SkipStats) ReaderOption {
+	return func(r *Reader) {
+		if st != nil {
+			r.stats = append(r.stats, st)
+		}
+	}
+}
+
+// Stream is a running feed pipeline built by StreamFiles. Consume the
+// Entries channel until it closes, then check Err; Skipped reports the
+// lenient-skip total. Close cancels the pipeline early (safe to call at
+// any time, including after a full drain).
+type Stream struct {
+	ch       chan *cve.Entry
+	err      error // written by the pipeline before ch closes
+	quit     chan struct{}
+	quitOnce sync.Once
+	stats    *SkipStats
+}
+
+// Entries returns the ordered entry channel. It closes when the feed
+// set is exhausted, a terminal error occurs (see Err), or the stream is
+// closed.
+func (st *Stream) Entries() <-chan *cve.Entry { return st.ch }
+
+// Err returns the terminal error of the pipeline: nil after a clean
+// drain, the first decode/convert/open failure otherwise. Only valid
+// once Entries has closed.
+func (st *Stream) Err() error { return st.err }
+
+// Skipped reports how many malformed entries the lenient pipeline has
+// dropped so far (always 0 for strict streams, which fail instead).
+func (st *Stream) Skipped() int { return st.stats.Skipped() }
+
+// Close cancels the pipeline and releases its goroutines and file
+// handles. It is idempotent and safe concurrently with consumption.
+func (st *Stream) Close() {
+	st.quitOnce.Do(func() { close(st.quit) })
+}
+
+// Next returns the next entry, io.EOF after a clean drain, or the
+// stream's terminal error — the channel-free consumption style.
+func (st *Stream) Next() (*cve.Entry, error) {
+	e, ok := <-st.ch
+	if !ok {
+		if st.err != nil {
+			return nil, st.err
+		}
+		return nil, io.EOF
+	}
+	return e, nil
+}
+
+// StreamFiles streams several feed files' entries in path order through
+// a bounded pipeline. With Workers(n > 1) up to n files decode
+// concurrently (or, for a single file, per-entry conversion fans out to
+// the pool); memory in flight stays bounded by the channel windows
+// regardless of the feed volume. Lenient skips count into Skipped and
+// any WithSkipStats aggregate.
+func StreamFiles(paths []string, opts ...ReaderOption) *Stream {
+	probe := NewReader(nil, opts...)
+	st := &Stream{
+		ch:    make(chan *cve.Entry, streamWindow),
+		quit:  make(chan struct{}),
+		stats: &SkipStats{},
+	}
+	// Chain the stream's own aggregate after any caller-supplied stats.
+	opts = append(append([]ReaderOption(nil), opts...), WithSkipStats(st.stats))
+	switch {
+	case probe.workers > 1 && len(paths) > 1:
+		st.runMultiFile(paths, opts, probe.workers)
+	case probe.workers > 1 && len(paths) == 1:
+		go func() {
+			defer close(st.ch)
+			st.err = st.pipelineFile(paths[0], opts)
+		}()
+	default:
+		go func() {
+			defer close(st.ch)
+			for _, path := range paths {
+				if err := st.serialFile(path, opts); err != nil {
+					st.err = err
+					return
+				}
+				select {
+				case <-st.quit:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	return st
+}
+
+// serialFile walks one file with the sequential Reader, sending entries
+// through the output window.
+func (st *Stream) serialFile(path string, opts []ReaderOption) error {
+	r, err := OpenFile(path, opts...)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for {
+		e, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		select {
+		case st.ch <- e:
+		case <-st.quit:
+			return nil
+		}
+	}
+}
+
+// pipelineFile runs one file through the bounded conversion pipeline,
+// emitting straight into the stream's output channel.
+func (st *Stream) pipelineFile(path string, opts []ReaderOption) error {
+	r, err := OpenFile(path, opts...)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	return r.convertPipeline(func(e *cve.Entry) bool {
+		select {
+		case st.ch <- e:
+			return true
+		case <-st.quit:
+			return false
+		}
+	})
+}
+
+// fileStream is one file's bounded leg of the multi-file fan-out.
+type fileStream struct {
+	out chan *cve.Entry
+	err error // valid once out is closed
+}
+
+// runMultiFile decodes up to `workers` files concurrently, each into a
+// bounded per-file channel, and drains them into the output channel in
+// path order. Concurrency and lookahead are both governed by the files
+// queue: a producer only spawns once its file is enqueued, and the
+// queue holds workers-1 files beyond the one the collector is
+// draining, so at most `workers` files decode at once. Crucially the
+// head-of-line file's producer always runs — a separate semaphore
+// acquired in spawn order could hand every slot to later files, whose
+// full windows then wait on the collector, which waits on the head
+// file: deadlock.
+func (st *Stream) runMultiFile(paths []string, opts []ReaderOption, workers int) {
+	// Cross-file fan-out already saturates the pool; forcing each file
+	// to the sequential decoder avoids stacking the within-file pipeline
+	// on top of it (same policy the materialized fast path used).
+	perFileOpts := append(append([]ReaderOption(nil), opts...), Workers(1))
+	files := make(chan *fileStream, workers-1)
+
+	go func() {
+		defer close(files)
+		for _, path := range paths {
+			fs := &fileStream{out: make(chan *cve.Entry, streamWindow)}
+			select {
+			case files <- fs:
+			case <-st.quit:
+				return
+			}
+			go func(path string, fs *fileStream) {
+				defer close(fs.out)
+				fs.err = decodeInto(path, perFileOpts, fs.out, st.quit)
+			}(path, fs)
+		}
+	}()
+
+	go func() {
+		defer close(st.ch)
+		for fs := range files {
+			for e := range fs.out {
+				select {
+				case st.ch <- e:
+				case <-st.quit:
+					return
+				}
+			}
+			if fs.err != nil {
+				st.err = fs.err
+				// Wake the remaining producers; they would otherwise
+				// block on their full windows forever.
+				st.Close()
+				return
+			}
+		}
+	}()
+}
+
+// decodeInto decodes one file sequentially into a bounded channel,
+// stopping early when quit closes.
+func decodeInto(path string, opts []ReaderOption, out chan<- *cve.Entry, quit <-chan struct{}) error {
+	r, err := OpenFile(path, opts...)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for {
+		e, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		select {
+		case out <- e:
+		case <-quit:
+			return nil
+		}
+	}
+}
+
+// convResult is one converted entry of the within-file pipeline.
+type convResult struct {
+	entry *cve.Entry
+	err   error
+}
+
+// convertPipeline is the bounded two-stage decode of one token stream:
+// the tokenizer goroutine fills a window of raw <entry> elements, the
+// worker pool converts them concurrently, and emit receives the results
+// in feed order. emit returns false to stop early. The returned error
+// is nil on a clean EOF or early stop. convertPipeline does not return
+// until the tokenizer goroutine has exited, so the caller may close the
+// underlying reader immediately afterwards.
+//
+// Unlike the old readAllParallel, nothing buffers the whole feed: at
+// most streamWindow raw elements and their conversions are in flight.
+func (r *Reader) convertPipeline(emit func(*cve.Entry) bool) error {
+	workers := r.workers
+	if workers < 1 {
+		workers = 1
+	}
+	type job struct {
+		raw xmlEntry
+		fut chan convResult
+	}
+	tasks := make(chan job, streamWindow)
+	futs := make(chan chan convResult, streamWindow)
+	quit := make(chan struct{})
+	decDone := make(chan struct{})
+	defer func() {
+		// Unwind the tokenizer on early exit, and never return while it
+		// may still be reading r's underlying stream (the caller closes
+		// the file next).
+		close(quit)
+		<-decDone
+	}()
+
+	// decodeErr is written by the tokenizer goroutine before it closes
+	// futs, so the collector reads it safely after the range ends.
+	var decodeErr error
+	go func() {
+		defer close(decDone)
+		defer close(tasks)
+		defer close(futs)
+		for {
+			raw, err := r.nextRaw()
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					decodeErr = err
+				}
+				return
+			}
+			if raw == nil {
+				continue // lenient decode skip
+			}
+			fut := make(chan convResult, 1)
+			select {
+			case tasks <- job{raw: *raw, fut: fut}:
+			case <-quit:
+				return
+			}
+			select {
+			case futs <- fut:
+			case <-quit:
+				return
+			}
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		go func() {
+			for j := range tasks {
+				e, err := j.raw.toEntry()
+				j.fut <- convResult{entry: e, err: err}
+			}
+		}()
+	}
+
+	for fut := range futs {
+		res := <-fut
+		if res.err != nil {
+			if r.lenient {
+				r.noteSkip()
+				continue
+			}
+			return res.err
+		}
+		if !emit(res.entry) {
+			return nil
+		}
+	}
+	return decodeErr
+}
+
+// nextRaw returns the next raw <entry> element, (nil, nil) for a
+// leniently skipped undecodable element, or io.EOF at end of stream.
+func (r *Reader) nextRaw() (*xmlEntry, error) {
+	for {
+		tok, err := r.dec.Token()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("nvdfeed: token: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok || start.Name.Local != "entry" {
+			continue
+		}
+		var raw xmlEntry
+		if err := r.dec.DecodeElement(&raw, &start); err != nil {
+			if r.lenient {
+				r.noteSkip()
+				return nil, nil
+			}
+			return nil, fmt.Errorf("nvdfeed: decode entry: %w", err)
+		}
+		return &raw, nil
+	}
+}

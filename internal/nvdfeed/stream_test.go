@@ -1,0 +1,239 @@
+package nvdfeed
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"osdiversity/internal/corpus"
+	"osdiversity/internal/cve"
+)
+
+// drainStream consumes a stream fully, returning the entries and the
+// terminal error.
+func drainStream(st *Stream) ([]*cve.Entry, error) {
+	defer st.Close()
+	var out []*cve.Entry
+	for e := range st.Entries() {
+		out = append(out, e)
+	}
+	return out, st.Err()
+}
+
+// TestStreamFilesMatchesReadFiles asserts the streaming pipeline emits
+// exactly the materialized path's entries, in order, at every pipeline
+// shape (serial, single-file pool, multi-file fan-out).
+func TestStreamFilesMatchesReadFiles(t *testing.T) {
+	paths, want := writeCorpusFeeds(t)
+	cases := []struct {
+		name    string
+		paths   []string
+		workers int
+	}{
+		{"serial multi-file", paths, 1},
+		{"fan-out multi-file", paths, 4},
+		{"single file serial", paths[len(paths)-1:], 1},
+		{"single file pooled", paths[len(paths)-1:], 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := ReadFiles(tc.paths, Workers(tc.workers))
+			if err != nil {
+				t.Fatalf("ReadFiles: %v", err)
+			}
+			got, err := drainStream(StreamFiles(tc.paths, Workers(tc.workers)))
+			if err != nil {
+				t.Fatalf("stream: %v", err)
+			}
+			if len(tc.paths) == len(paths) && len(ref) != len(want) {
+				t.Fatalf("materialized path lost entries: %d != %d", len(ref), len(want))
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("stream emitted %d entries, want %d", len(got), len(ref))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], ref[i]) {
+					t.Fatalf("entry %d differs between stream and materialized path", i)
+				}
+			}
+		})
+	}
+}
+
+// writeMalformedFeeds splits the calibrated corpus into three files with
+// malformed entries interleaved in each, returning paths and the counts.
+func writeMalformedFeeds(t *testing.T) (paths []string, good, bad int) {
+	t.Helper()
+	c, err := corpus.Generate()
+	if err != nil {
+		t.Fatalf("corpus.Generate: %v", err)
+	}
+	dir := t.TempDir()
+	third := len(c.Entries) / 3
+	chunks := [][]*cve.Entry{c.Entries[:third], c.Entries[third : 2*third], c.Entries[2*third:]}
+	perFile := []int{2, 0, 3}
+	for i, chunk := range chunks {
+		path := filepath.Join(dir, "feed-"+string(rune('a'+i))+".xml.gz")
+		if err := WriteFileWithMalformed(path, "CVE-FIX", chunk, perFile[i]); err != nil {
+			t.Fatalf("WriteFileWithMalformed: %v", err)
+		}
+		paths = append(paths, path)
+		good += len(chunk)
+		bad += perFile[i]
+	}
+	return paths, good, bad
+}
+
+// TestStreamLenientSkipStats asserts lenient skip counts aggregate (not
+// silently dropped) through the stream, ReadFiles and ReadFile, and
+// agree across worker counts.
+func TestStreamLenientSkipStats(t *testing.T) {
+	paths, good, bad := writeMalformedFeeds(t)
+	for _, workers := range []int{1, 4} {
+		st := StreamFiles(paths, Lenient(), Workers(workers))
+		entries, err := drainStream(st)
+		if err != nil {
+			t.Fatalf("workers %d: stream: %v", workers, err)
+		}
+		if len(entries) != good {
+			t.Errorf("workers %d: stream emitted %d entries, want %d", workers, len(entries), good)
+		}
+		if st.Skipped() != bad {
+			t.Errorf("workers %d: stream skipped %d, want %d", workers, st.Skipped(), bad)
+		}
+
+		var stats SkipStats
+		ref, err := ReadFiles(paths, Lenient(), Workers(workers), WithSkipStats(&stats))
+		if err != nil {
+			t.Fatalf("workers %d: ReadFiles: %v", workers, err)
+		}
+		if len(ref) != good || stats.Skipped() != bad {
+			t.Errorf("workers %d: ReadFiles = %d entries, %d skipped; want %d, %d",
+				workers, len(ref), stats.Skipped(), good, bad)
+		}
+	}
+
+	// The per-file path aggregates too (the reader is dropped inside).
+	var one SkipStats
+	if _, err := ReadFile(paths[0], Lenient(), WithSkipStats(&one)); err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if one.Skipped() != 2 {
+		t.Errorf("ReadFile skipped %d, want 2", one.Skipped())
+	}
+}
+
+// TestStreamStrictError asserts strict streams fail on the first
+// malformed entry at every pipeline shape, and ReadFiles reports the
+// same failure.
+func TestStreamStrictError(t *testing.T) {
+	paths, _, _ := writeMalformedFeeds(t)
+	for _, workers := range []int{1, 4} {
+		if _, err := drainStream(StreamFiles(paths, Workers(workers))); err == nil {
+			t.Errorf("workers %d: strict stream succeeded over malformed feeds", workers)
+		}
+		if _, err := ReadFiles(paths, Workers(workers)); err == nil {
+			t.Errorf("workers %d: strict ReadFiles succeeded over malformed feeds", workers)
+		}
+	}
+	// Single malformed file through the within-file pipeline.
+	if _, err := drainStream(StreamFiles(paths[:1], Workers(4))); err == nil {
+		t.Error("strict single-file stream succeeded over a malformed feed")
+	}
+}
+
+// TestStreamOpenError asserts a missing file surfaces as the terminal
+// error in every mode.
+func TestStreamOpenError(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.xml")
+	for _, workers := range []int{1, 4} {
+		_, err := drainStream(StreamFiles([]string{missing, missing}, Workers(workers)))
+		if err == nil {
+			t.Errorf("workers %d: stream over missing files succeeded", workers)
+		}
+	}
+}
+
+// TestStreamCloseEarly closes mid-stream and asserts the pipeline winds
+// down without the consumer draining it.
+func TestStreamCloseEarly(t *testing.T) {
+	paths, _ := writeCorpusFeeds(t)
+	for _, workers := range []int{1, 4} {
+		st := StreamFiles(paths, Workers(workers))
+		var got int
+		for range st.Entries() {
+			if got++; got == 10 {
+				break
+			}
+		}
+		st.Close()
+		// The channel must close shortly after cancellation.
+		for range st.Entries() {
+		}
+		if err := st.Err(); err != nil {
+			t.Errorf("workers %d: closed stream reports error %v", workers, err)
+		}
+	}
+}
+
+// TestStreamLargeFilesBeyondWindow drains many files that each
+// overflow the per-file window, so producers must block on the
+// collector mid-file — the shape that deadlocked a semaphore-based
+// fan-out (later files could hold every slot while the collector
+// waited on the head file).
+func TestStreamLargeFilesBeyondWindow(t *testing.T) {
+	sc, err := corpus.GenerateSynthetic(corpus.SyntheticConfig{
+		Entries: 6 * 600, Distros: 8, Seed: 5, Workers: 4,
+	})
+	if err != nil {
+		t.Fatalf("GenerateSynthetic: %v", err)
+	}
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 6; i++ {
+		chunk := sc.Entries[i*600 : (i+1)*600]
+		path := filepath.Join(dir, fmt.Sprintf("chunk-%d.xml.gz", i))
+		if err := WriteFile(path, "CVE-CHUNK", chunk); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		paths = append(paths, path)
+	}
+	for _, workers := range []int{2, 4} {
+		got, err := drainStream(StreamFiles(paths, Workers(workers)))
+		if err != nil {
+			t.Fatalf("workers %d: stream: %v", workers, err)
+		}
+		if len(got) != len(sc.Entries) {
+			t.Fatalf("workers %d: drained %d entries, want %d", workers, len(got), len(sc.Entries))
+		}
+		for i := range got {
+			if got[i].ID != sc.Entries[i].ID {
+				t.Fatalf("workers %d: entry %d out of order", workers, i)
+			}
+		}
+	}
+}
+
+// TestStreamNext exercises the channel-free consumption style.
+func TestStreamNext(t *testing.T) {
+	paths, want := writeCorpusFeeds(t)
+	st := StreamFiles(paths, Workers(2))
+	defer st.Close()
+	var n int
+	for {
+		_, err := st.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		n++
+	}
+	if n != len(want) {
+		t.Fatalf("Next drained %d entries, want %d", n, len(want))
+	}
+}

@@ -92,6 +92,7 @@ func (s *Server) handleTable5(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr)
 		return
 	}
+	split = CanonSplitYear(s.a, split)
 	s.respond(w, fmt.Sprintf("table5?split=%d", split), func() (any, *apiError) {
 		return BuildTable5(s.a, split), nil
 	})
@@ -118,13 +119,28 @@ func (s *Server) handleKWise(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMostShared streams its (potentially 100k-entry) listing instead
-// of materializing the body; the Study-level memo already coalesces the
-// underlying bucket sort, so only the encoding is per-request.
+// mostSharedCacheMax is the largest canonical n whose listing goes
+// through the singleflight/response cache; larger listings stream their
+// JSON instead of parking multi-MB bodies in the bounded cache.
+const mostSharedCacheMax = 4096
+
+// handleMostShared answers small listings through the coalescing cache
+// (n canonicalizes onto the valid-entry count, so every "give me
+// everything" request shares one key) and streams large ones instead of
+// materializing the body; the Study-level memo already coalesces the
+// underlying bucket sort, so only the encoding is per-request on the
+// streamed path. Streamed and cached bytes are identical.
 func (s *Server) handleMostShared(w http.ResponseWriter, r *http.Request) {
 	n, aerr := intParam(r.URL.Query(), "n", defaultMostShared, 1, 1<<30)
 	if aerr != nil {
 		writeError(w, aerr)
+		return
+	}
+	n = CanonListLimit(s.a, n)
+	if n <= mostSharedCacheMax {
+		s.respond(w, fmt.Sprintf("mostshared?n=%d", n), func() (any, *apiError) {
+			return BuildMostShared(s.a, n), nil
+		})
 		return
 	}
 	var doc httpapi.MostShared
@@ -133,6 +149,7 @@ func (s *Server) handleMostShared(w http.ResponseWriter, r *http.Request) {
 		// too; streaming to a slow client must not pin a compute slot.
 		s.limiter <- struct{}{}
 		defer func() { <-s.limiter }()
+		s.computes.Add(1)
 		doc = BuildMostShared(s.a, n)
 	}()
 	w.Header().Set("Content-Type", "application/json")
@@ -156,6 +173,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr)
 		return
 	}
+	toYear = CanonSplitYear(s.a, toYear)
 	top, aerr := intParam(q, "top", 0, 0, 1<<30)
 	if aerr != nil {
 		writeError(w, aerr)

@@ -15,6 +15,39 @@ import (
 // non-nil so compact-marshal and the streaming encoder agree on empty
 // arrays ([] rather than null).
 
+// CanonSplitYear clamps a Table V split year (or selection end year) to
+// the corpus's meaningful range [minYear-1, maxYear]: every year below
+// the first publication year yields the same all-observed table, and
+// every year at or beyond the last yields the same all-history table.
+// The server canonicalizes request parameters through this before
+// forming its singleflight/cache keys, so cosmetically different
+// requests share one computation — and it echoes the canonical year, so
+// the cached body is deterministic. Exported so the osdiv -json
+// printers render exactly the documents the server answers.
+func CanonSplitYear(a *osdiversity.Analysis, year int) int {
+	lo, hi := a.YearRange()
+	if lo == 0 && hi == 0 {
+		return year // empty corpus: nothing to clamp against
+	}
+	if year < lo-1 {
+		return lo - 1
+	}
+	if year > hi {
+		return hi
+	}
+	return year
+}
+
+// CanonListLimit clamps a listing limit to the corpus's valid-entry
+// count — every larger limit returns the identical full listing, so
+// they canonicalize onto one cache key.
+func CanonListLimit(a *osdiversity.Analysis, n int) int {
+	if v := a.ValidCount(); n > v {
+		return v
+	}
+	return n
+}
+
 // BuildCorpus describes the loaded corpus for /corpus.
 func BuildCorpus(a *osdiversity.Analysis, source, engine string, workers int, sql bool) httpapi.CorpusInfo {
 	names := a.OSNames()

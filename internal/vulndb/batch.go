@@ -137,15 +137,9 @@ func (db *DB) appendEntry(e *cve.Entry, dig *entryDigest, b *rowBatch) {
 	b.pending++
 }
 
-// LoadEntriesParallel bulk-inserts entries through the pipeline: workers
-// digest entries concurrently, the sequential stage assigns IDs in entry
-// order and feeds batched inserts. The resulting database is identical
-// to LoadEntries'. workers <= 0 selects GOMAXPROCS.
-func (db *DB) LoadEntriesParallel(entries []*cve.Entry, classifier *classify.Classifier, workers int) (stored, skipped int, err error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	digests := make([]entryDigest, len(entries))
+// digestAll fills digests[i] for each entry, fanning the CPU-bound
+// digestion out to the worker pool when the batch is large enough.
+func (db *DB) digestAll(entries []*cve.Entry, classifier *classify.Classifier, workers int, digests []entryDigest) {
 	if workers > 1 && len(entries) >= 2*workers {
 		if workers > len(entries) {
 			workers = len(entries)
@@ -171,20 +165,82 @@ func (db *DB) LoadEntriesParallel(entries []*cve.Entry, classifier *classify.Cla
 			digests[i] = db.digestEntry(e, classifier)
 		}
 	}
+}
 
-	var batch rowBatch
+// appendAll stages one digested batch in entry order, flushing whenever
+// batchSize rows are pending. It mutates stored/skipped in place.
+func (db *DB) appendAll(entries []*cve.Entry, digests []entryDigest, batch *rowBatch, stored, skipped *int) error {
 	for i, e := range entries {
 		if !digests[i].clustered {
-			skipped++
+			*skipped++
 			continue
 		}
-		db.appendEntry(e, &digests[i], &batch)
-		stored++
+		db.appendEntry(e, &digests[i], batch)
+		*stored++
 		if batch.pending >= batchSize {
 			if err := batch.flush(db); err != nil {
-				return stored, skipped, fmt.Errorf("vulndb: %s: %w", e.ID, err)
+				return fmt.Errorf("vulndb: %s: %w", e.ID, err)
 			}
 		}
+	}
+	return nil
+}
+
+// LoadEntriesParallel bulk-inserts entries through the pipeline: workers
+// digest entries concurrently, the sequential stage assigns IDs in entry
+// order and feeds batched inserts. The resulting database is identical
+// to LoadEntries'. workers <= 0 selects GOMAXPROCS.
+func (db *DB) LoadEntriesParallel(entries []*cve.Entry, classifier *classify.Classifier, workers int) (stored, skipped int, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	digests := make([]entryDigest, len(entries))
+	db.digestAll(entries, classifier, workers, digests)
+	var batch rowBatch
+	if err := db.appendAll(entries, digests, &batch, &stored, &skipped); err != nil {
+		return stored, skipped, err
+	}
+	if err := batch.flush(db); err != nil {
+		return stored, skipped, fmt.Errorf("vulndb: flush: %w", err)
+	}
+	return stored, skipped, nil
+}
+
+// streamChunk is how many entries LoadEntriesStream accumulates before
+// digesting a batch on the worker pool — the memory bound of the
+// streaming insert path.
+const streamChunk = 1024
+
+// LoadEntriesStream inserts entries as they arrive on the channel,
+// digesting fixed-size chunks on the worker pool and feeding the same
+// batched inserts as LoadEntriesParallel — for the same entry sequence
+// the resulting database is byte-identical, but only streamChunk
+// entries are ever held by the loader at once, so feeds larger than
+// memory can stream straight into the store. The channel must be closed
+// by the producer; workers <= 0 selects GOMAXPROCS.
+func (db *DB) LoadEntriesStream(entries <-chan *cve.Entry, classifier *classify.Classifier, workers int) (stored, skipped int, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunk := make([]*cve.Entry, 0, streamChunk)
+	digests := make([]entryDigest, streamChunk)
+	var batch rowBatch
+	process := func() error {
+		db.digestAll(chunk, classifier, workers, digests[:len(chunk)])
+		err := db.appendAll(chunk, digests[:len(chunk)], &batch, &stored, &skipped)
+		chunk = chunk[:0]
+		return err
+	}
+	for e := range entries {
+		chunk = append(chunk, e)
+		if len(chunk) == streamChunk {
+			if err := process(); err != nil {
+				return stored, skipped, err
+			}
+		}
+	}
+	if err := process(); err != nil {
+		return stored, skipped, err
 	}
 	if err := batch.flush(db); err != nil {
 		return stored, skipped, fmt.Errorf("vulndb: flush: %w", err)

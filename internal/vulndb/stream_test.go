@@ -1,0 +1,81 @@
+package vulndb
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"osdiversity/internal/classify"
+	"osdiversity/internal/corpus"
+	"osdiversity/internal/cve"
+)
+
+// TestLoadEntriesStreamIdentical proves the streaming insert path
+// persists a database byte-identical to the materialized parallel path,
+// across chunk boundaries and worker counts.
+func TestLoadEntriesStreamIdentical(t *testing.T) {
+	c, err := corpus.Generate()
+	if err != nil {
+		t.Fatalf("corpus.Generate: %v", err)
+	}
+	classifier := classify.NewClassifier()
+	dir := t.TempDir()
+
+	saveParallel := func(workers int) []byte {
+		db, err := Create()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stored, _, err := db.LoadEntriesParallel(c.Entries, classifier, workers)
+		if err != nil || stored == 0 {
+			t.Fatalf("LoadEntriesParallel: %v, %d stored", err, stored)
+		}
+		path := filepath.Join(dir, "parallel.db")
+		if err := db.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	want := saveParallel(4)
+	if !bytes.Equal(want, saveParallel(1)) {
+		t.Fatal("materialized path differs across worker counts")
+	}
+
+	for _, workers := range []int{1, 4} {
+		db, err := Create()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := make(chan *cve.Entry, 64)
+		go func() {
+			for _, e := range c.Entries {
+				ch <- e
+			}
+			close(ch)
+		}()
+		stored, skipped, err := db.LoadEntriesStream(ch, classifier, workers)
+		if err != nil {
+			t.Fatalf("LoadEntriesStream(workers=%d): %v", workers, err)
+		}
+		if stored+skipped != len(c.Entries) {
+			t.Fatalf("stream accounted %d+%d entries, want %d", stored, skipped, len(c.Entries))
+		}
+		path := filepath.Join(dir, "stream.db")
+		if err := db.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, want) {
+			t.Errorf("workers %d: streamed database differs from materialized import", workers)
+		}
+	}
+}

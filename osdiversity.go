@@ -40,9 +40,11 @@ import (
 type Option func(*config)
 
 type config struct {
-	workers  int
-	engine   Engine
-	universe int // > 0 selects a synthetic n-distro universe for LoadFeeds
+	workers   int
+	engine    Engine
+	universe  int // > 0 selects a synthetic n-distro universe for LoadFeeds
+	lenient   bool
+	feedStats *FeedStats
 }
 
 // WithParallelism sets the worker count used throughout the pipeline:
@@ -82,12 +84,54 @@ func WithSyntheticUniverse(n int) Option {
 	return func(c *config) { c.universe = n }
 }
 
+// WithLenient makes the feed loaders skip entries that fail to decode
+// or convert instead of failing the whole ingestion. Combine with
+// WithFeedStats to account for every dropped entry.
+func WithLenient() Option {
+	return func(c *config) { c.lenient = true }
+}
+
+// FeedStats reports what a feed-loading call silently dropped. Pass one
+// through WithFeedStats; it is (re)filled when the call returns.
+type FeedStats struct {
+	// MalformedSkipped counts entries the lenient reader dropped because
+	// they failed to decode or convert (always 0 without WithLenient,
+	// where a malformed entry fails the load instead).
+	MalformedSkipped int
+}
+
+// WithFeedStats makes LoadFeeds, StreamFeeds, ImportFeeds and
+// ImportFeedsStream record their skip counters into st, so callers
+// ingesting with WithLenient can report how many malformed entries were
+// lost rather than losing the count with the internal readers.
+func WithFeedStats(st *FeedStats) Option {
+	return func(c *config) { c.feedStats = st }
+}
+
 func newConfig(opts []Option) config {
 	c := config{workers: 1}
 	for _, opt := range opts {
 		opt(&c)
 	}
 	return c
+}
+
+// readerOptions translates the facade config into nvdfeed options,
+// wiring the given skip aggregate into every reader the load opens.
+func (c config) readerOptions(skips *nvdfeed.SkipStats) []nvdfeed.ReaderOption {
+	opts := []nvdfeed.ReaderOption{nvdfeed.Workers(c.workers), nvdfeed.WithSkipStats(skips)}
+	if c.lenient {
+		opts = append(opts, nvdfeed.Lenient())
+	}
+	return opts
+}
+
+// noteSkips copies the aggregated reader skip counts into the caller's
+// FeedStats, when one was attached.
+func (c config) noteSkips(skips *nvdfeed.SkipStats) {
+	if c.feedStats != nil {
+		c.feedStats.MalformedSkipped = skips.Skipped()
+	}
 }
 
 // studyOptions translates the facade config into core options.
@@ -142,30 +186,20 @@ func writeFeedsByYear(dir string, entries []*cve.Entry, workers int) ([]string, 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("osdiversity: %w", err)
 	}
-	byYear := make(map[int][]*cve.Entry)
-	for _, e := range entries {
-		byYear[e.Year()] = append(byYear[e.Year()], e)
-	}
-	years := make([]int, 0, len(byYear))
-	for y := range byYear {
-		years = append(years, y)
-	}
-	sort.Ints(years)
-	paths := make([]string, len(years))
-	errs := make([]error, len(years))
+	groups := corpus.SplitByYear(entries)
+	paths := make([]string, len(groups))
+	errs := make([]error, len(groups))
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	for i, y := range years {
-		yearEntries := byYear[y]
-		cve.SortEntries(yearEntries)
-		paths[i] = filepath.Join(dir, fmt.Sprintf("nvdcve-2.0-%d.xml.gz", y))
+	for i, g := range groups {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("nvdcve-2.0-%d.xml.gz", g.Year))
 		wg.Add(1)
-		go func(i, y int, yearEntries []*cve.Entry) {
+		go func(i int, g corpus.YearGroup) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			errs[i] = nvdfeed.WriteFile(paths[i], fmt.Sprintf("CVE-%d", y), yearEntries)
-		}(i, y, yearEntries)
+			errs[i] = nvdfeed.WriteFile(paths[i], fmt.Sprintf("CVE-%d", g.Year), g.Entries)
+		}(i, g)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -183,14 +217,51 @@ type Analysis struct {
 
 // LoadFeeds parses NVD XML feed files (plain or .gz) and builds the
 // analysis. With WithParallelism files decode concurrently and the
-// analysis queries run on the sharded engine.
+// analysis queries run on the sharded engine. The decode runs over the
+// streaming pipeline (materializing the entries once for the digest);
+// StreamFeeds skips even that materialization.
 func LoadFeeds(paths []string, opts ...Option) (*Analysis, error) {
 	cfg := newConfig(opts)
-	entries, err := nvdfeed.ReadFiles(paths, nvdfeed.Workers(cfg.workers))
+	skips := &nvdfeed.SkipStats{}
+	entries, err := nvdfeed.ReadFiles(paths, cfg.readerOptions(skips)...)
 	if err != nil {
 		return nil, err
 	}
+	cfg.noteSkips(skips)
 	return &Analysis{study: core.NewStudy(entries, cfg.studyOptions()...)}, nil
+}
+
+// streamBatch is how many decoded entries StreamFeeds hands to the
+// incremental Study builder at a time.
+const streamBatch = 512
+
+// StreamFeeds builds the analysis end to end over the bounded streaming
+// pipeline: entries flow from the XML tokenizers through fixed-capacity
+// channels into the incremental Study builder in streamBatch chunks, so
+// ingestion memory stays constant no matter how large the feed set is
+// (only the compact per-entry digests accumulate). The resulting
+// analysis is identical to LoadFeeds' — byte-identical tables at any
+// worker count.
+func StreamFeeds(paths []string, opts ...Option) (*Analysis, error) {
+	cfg := newConfig(opts)
+	skips := &nvdfeed.SkipStats{}
+	st := nvdfeed.StreamFiles(paths, cfg.readerOptions(skips)...)
+	defer st.Close()
+	b := core.NewBuilder(cfg.studyOptions()...)
+	batch := make([]*cve.Entry, 0, streamBatch)
+	for e := range st.Entries() {
+		batch = append(batch, e)
+		if len(batch) == streamBatch {
+			b.Add(batch...)
+			batch = batch[:0]
+		}
+	}
+	if err := st.Err(); err != nil {
+		return nil, err
+	}
+	b.Add(batch...)
+	cfg.noteSkips(skips)
+	return &Analysis{study: b.Finish()}, nil
 }
 
 // LoadCalibrated builds the analysis directly over the calibrated
@@ -262,7 +333,8 @@ func ImportFeeds(dbPath string, feedPaths []string, opts ...Option) (int, int, e
 	if err != nil {
 		return 0, 0, err
 	}
-	entries, err := nvdfeed.ReadFiles(feedPaths, nvdfeed.Workers(cfg.workers))
+	skips := &nvdfeed.SkipStats{}
+	entries, err := nvdfeed.ReadFiles(feedPaths, cfg.readerOptions(skips)...)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -270,6 +342,36 @@ func ImportFeeds(dbPath string, feedPaths []string, opts ...Option) (int, int, e
 	if err != nil {
 		return stored, skipped, err
 	}
+	cfg.noteSkips(skips)
+	if err := db.Save(dbPath); err != nil {
+		return stored, skipped, err
+	}
+	return stored, skipped, nil
+}
+
+// ImportFeedsStream is ImportFeeds over the bounded streaming pipeline:
+// decoded entries flow straight from the feed channels into the store's
+// chunked insert loop without ever materializing the full entry slice,
+// so feeds larger than memory import with constant ingestion footprint.
+// The persisted database is byte-identical to ImportFeeds' for the same
+// feed set at any worker count.
+func ImportFeedsStream(dbPath string, feedPaths []string, opts ...Option) (int, int, error) {
+	cfg := newConfig(opts)
+	db, err := vulndb.Create()
+	if err != nil {
+		return 0, 0, err
+	}
+	skips := &nvdfeed.SkipStats{}
+	st := nvdfeed.StreamFiles(feedPaths, cfg.readerOptions(skips)...)
+	defer st.Close()
+	stored, skipped, err := db.LoadEntriesStream(st.Entries(), classify.NewClassifier(), cfg.workers)
+	if err != nil {
+		return stored, skipped, err
+	}
+	if err := st.Err(); err != nil {
+		return stored, skipped, err
+	}
+	cfg.noteSkips(skips)
 	if err := db.Save(dbPath); err != nil {
 		return stored, skipped, err
 	}

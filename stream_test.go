@@ -1,0 +1,177 @@
+package osdiversity
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"osdiversity/internal/corpus"
+	"osdiversity/internal/nvdfeed"
+)
+
+// tableFingerprint marshals every table the facade answers, so two
+// analyses can be compared byte for byte.
+func tableFingerprint(t *testing.T, a *Analysis) []byte {
+	t.Helper()
+	rows, distinct := a.ValidityTable()
+	classRows, shares := a.ClassTable()
+	temporal := map[string]map[int]int{}
+	for _, name := range a.OSNames() {
+		series, err := a.TemporalSeries(name)
+		if err != nil {
+			t.Fatalf("TemporalSeries(%s): %v", name, err)
+		}
+		temporal[name] = series
+	}
+	doc := map[string]any{
+		"validity": rows,
+		"distinct": distinct,
+		"class":    classRows,
+		"shares":   shares,
+		"pairs":    a.PairwiseOverlaps(),
+		"parts":    a.PartBreakdowns(),
+		"periods":  a.HistoryObserved(2005),
+		"kwise":    a.KWiseProducts(),
+		"most":     a.MostShared(10),
+		"temporal": temporal,
+		"valid":    a.ValidCount(),
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatalf("marshal fingerprint: %v", err)
+	}
+	return raw
+}
+
+// TestStreamFeedsMatchesLoadFeeds is the tentpole acceptance test: the
+// same feed set through the streaming pipeline and the materialized
+// path yields byte-identical tables at workers 1 and 4.
+func TestStreamFeedsMatchesLoadFeeds(t *testing.T) {
+	dir := t.TempDir()
+	feeds, err := GenerateFeeds(filepath.Join(dir, "feeds"), WithParallelism(4))
+	if err != nil {
+		t.Fatalf("GenerateFeeds: %v", err)
+	}
+	var want []byte
+	for _, workers := range []int{1, 4} {
+		loaded, err := LoadFeeds(feeds, WithParallelism(workers))
+		if err != nil {
+			t.Fatalf("LoadFeeds(workers=%d): %v", workers, err)
+		}
+		streamed, err := StreamFeeds(feeds, WithParallelism(workers))
+		if err != nil {
+			t.Fatalf("StreamFeeds(workers=%d): %v", workers, err)
+		}
+		lf, sf := tableFingerprint(t, loaded), tableFingerprint(t, streamed)
+		if !bytes.Equal(lf, sf) {
+			t.Errorf("workers %d: streamed tables differ from materialized tables", workers)
+		}
+		if want == nil {
+			want = lf
+		} else if !bytes.Equal(want, lf) {
+			t.Errorf("workers %d: tables differ from workers 1", workers)
+		}
+	}
+}
+
+// writeLenientFeeds renders per-year feeds with malformed entries
+// interleaved into two of the files.
+func writeLenientFeeds(t *testing.T, dir string) (paths []string, bad int) {
+	t.Helper()
+	c, err := corpus.Generate()
+	if err != nil {
+		t.Fatalf("corpus.Generate: %v", err)
+	}
+	for i, g := range corpus.SplitByYear(c.Entries) {
+		path := filepath.Join(dir, fmt.Sprintf("nvdcve-2.0-%d.xml.gz", g.Year))
+		malformed := 0
+		if i%5 == 0 {
+			malformed = 3
+			bad += malformed
+		}
+		if err := nvdfeed.WriteFileWithMalformed(path, fmt.Sprintf("CVE-%d", g.Year), g.Entries, malformed); err != nil {
+			t.Fatalf("WriteFileWithMalformed: %v", err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, bad
+}
+
+// TestLenientStreamIdentityAndSkipCounts asserts the lenient loaders
+// agree between the streaming and materialized paths — tables AND skip
+// counts — and that the counts reach the caller instead of vanishing
+// with the internal readers.
+func TestLenientStreamIdentityAndSkipCounts(t *testing.T) {
+	paths, bad := writeLenientFeeds(t, t.TempDir())
+	if bad == 0 {
+		t.Fatal("fixture wrote no malformed entries")
+	}
+
+	// Strict loads must fail loudly on the malformed feeds.
+	if _, err := LoadFeeds(paths, WithParallelism(4)); err == nil {
+		t.Error("strict LoadFeeds succeeded over malformed feeds")
+	}
+	if _, err := StreamFeeds(paths, WithParallelism(4)); err == nil {
+		t.Error("strict StreamFeeds succeeded over malformed feeds")
+	}
+
+	var want []byte
+	for _, workers := range []int{1, 4} {
+		var loadStats, streamStats FeedStats
+		loaded, err := LoadFeeds(paths, WithParallelism(workers), WithLenient(), WithFeedStats(&loadStats))
+		if err != nil {
+			t.Fatalf("lenient LoadFeeds(workers=%d): %v", workers, err)
+		}
+		streamed, err := StreamFeeds(paths, WithParallelism(workers), WithLenient(), WithFeedStats(&streamStats))
+		if err != nil {
+			t.Fatalf("lenient StreamFeeds(workers=%d): %v", workers, err)
+		}
+		if loadStats.MalformedSkipped != bad || streamStats.MalformedSkipped != bad {
+			t.Errorf("workers %d: skip counts = load %d / stream %d, want %d",
+				workers, loadStats.MalformedSkipped, streamStats.MalformedSkipped, bad)
+		}
+		if loaded.ValidCount() != 1887 {
+			t.Errorf("workers %d: lenient load valid = %d, want 1887", workers, loaded.ValidCount())
+		}
+		lf, sf := tableFingerprint(t, loaded), tableFingerprint(t, streamed)
+		if !bytes.Equal(lf, sf) {
+			t.Errorf("workers %d: lenient streamed tables differ from materialized", workers)
+		}
+		if want == nil {
+			want = lf
+		} else if !bytes.Equal(want, lf) {
+			t.Errorf("workers %d: lenient tables differ from workers 1", workers)
+		}
+	}
+}
+
+// TestImportFeedsStreamIdentical asserts the streamed SQL import
+// persists byte-identical database files at workers 1 and 4.
+func TestImportFeedsStreamIdentical(t *testing.T) {
+	dir := t.TempDir()
+	feeds, err := GenerateFeeds(filepath.Join(dir, "feeds"), WithParallelism(4))
+	if err != nil {
+		t.Fatalf("GenerateFeeds: %v", err)
+	}
+	read := func(name string, importer func(string, []string, ...Option) (int, int, error), workers int) []byte {
+		path := filepath.Join(dir, name)
+		stored, _, err := importer(path, feeds, WithParallelism(workers))
+		if err != nil || stored == 0 {
+			t.Fatalf("import %s: %v, %d stored", name, err, stored)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	want := read("materialized.db", ImportFeeds, 4)
+	for _, workers := range []int{1, 4} {
+		if got := read("streamed.db", ImportFeedsStream, workers); !bytes.Equal(got, want) {
+			t.Errorf("workers %d: streamed import differs from materialized import", workers)
+		}
+	}
+}
