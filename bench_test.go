@@ -8,6 +8,7 @@ package osdiversity
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -748,5 +749,78 @@ func BenchmarkStudyConstruction(b *testing.B) {
 		if s.ValidEntries() != paperdata.DistinctValid {
 			b.Fatal("study mismatch")
 		}
+	}
+}
+
+// warmStartFixture writes the 100k synthetic corpus as per-year feeds
+// plus its columnar snapshot, once per process (the feed and snapshot
+// warm-start benchmarks measure boots over the identical corpus).
+var warmStartFix struct {
+	paths []string
+	snap  string
+	err   error
+}
+
+func warmStartFixture(b *testing.B) (paths []string, snapPath string) {
+	b.Helper()
+	if warmStartFix.paths == nil && warmStartFix.err == nil {
+		dir, err := os.MkdirTemp("", "osdiv-warmstart-*")
+		if err != nil {
+			warmStartFix.err = err
+		} else {
+			spec := SyntheticSpec{
+				Entries: synthBenchEntries, Distros: synthBenchDistros, Seed: synthBenchSeed,
+			}
+			warmStartFix.snap = filepath.Join(dir, "warm.osds")
+			warmStartFix.paths, warmStartFix.err = GenerateSyntheticFeeds(dir, spec, WithParallelism(benchWorkers))
+			if warmStartFix.err == nil {
+				_, warmStartFix.err = StreamFeeds(warmStartFix.paths,
+					WithParallelism(benchWorkers),
+					WithSyntheticUniverse(synthBenchDistros),
+					WithSnapshot(warmStartFix.snap))
+			}
+		}
+	}
+	if warmStartFix.err != nil {
+		b.Fatalf("warm-start fixture: %v", warmStartFix.err)
+	}
+	return warmStartFix.paths, warmStartFix.snap
+}
+
+// BenchmarkWarmStart100kFeed is the cold boot: stream-ingest and digest
+// the 100k-entry feed set into a query-ready analysis.
+func BenchmarkWarmStart100kFeed(b *testing.B) {
+	paths, _ := warmStartFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := StreamFeeds(paths, WithParallelism(benchWorkers),
+			WithSyntheticUniverse(synthBenchDistros))
+		if err != nil || a.ValidCount() == 0 {
+			b.Fatalf("StreamFeeds: %v", err)
+		}
+	}
+}
+
+// BenchmarkWarmStart100kSnapshot boots the same corpus from its
+// snapshot file: checksum, validate, adopt the columns zero-copy.
+func BenchmarkWarmStart100kSnapshot(b *testing.B) {
+	benchmarkSnapshotWarmStart(b)
+}
+
+// BenchmarkSnapshotWarmStart is the perf gate's name for the snapshot
+// boot (BENCH_core.json pins it against BenchmarkWarmStart100kFeed).
+func BenchmarkSnapshotWarmStart(b *testing.B) {
+	benchmarkSnapshotWarmStart(b)
+}
+
+func benchmarkSnapshotWarmStart(b *testing.B) {
+	_, snapPath := warmStartFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := LoadSnapshot(snapPath, WithParallelism(benchWorkers))
+		if err != nil || a.ValidCount() == 0 {
+			b.Fatalf("LoadSnapshot: %v", err)
+		}
+		a.Close()
 	}
 }

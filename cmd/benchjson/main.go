@@ -11,7 +11,8 @@
 // (e.g. BenchmarkKWise100kScan / BenchmarkKWise100kBitset) the summary
 // records the scan-over-bitset speedup factor; likewise "Naive" /
 // "Planned" siblings (the relstore query-planner benchmarks) record
-// naive-over-planned.
+// naive-over-planned, and "Feed" / "Snapshot" siblings (the warm-start
+// benchmarks) record feed-over-snapshot.
 //
 // With -compare old.json the command additionally gates on performance
 // regressions: any benchmark present in both the old summary and the
@@ -25,6 +26,15 @@
 // is written, so both flags may name the same file — CI compares the
 // fresh run against the committed BENCH_*.json and then overwrites it
 // for the artifact upload.
+//
+// With -trend series.jsonl the command also tracks the long-run
+// trajectory: the fresh medians are gated against the per-benchmark
+// best (minimum ns/op) across every prior run recorded in the series,
+// with -trend-tolerance headroom, and are then appended to the series
+// as one JSON line. A missing or empty series bootstraps silently —
+// the first run only records. Trend breaches exit 2 like -compare
+// regressions; the fresh line is appended either way, so the history
+// stays complete.
 package main
 
 import (
@@ -57,6 +67,10 @@ type summary struct {
 	// benchmark pairs named <Name>Naive / <Name>Planned (the relstore
 	// query planner against its pre-planner baseline).
 	PlanSpeedups map[string]float64 `json:"speedup_naive_over_planned,omitempty"`
+	// WarmSpeedups maps "<Name>" to feed/snapshot ns ratios for
+	// benchmark pairs named <Name>Feed / <Name>Snapshot (cold feed
+	// digestion against the columnar snapshot warm start).
+	WarmSpeedups map[string]float64 `json:"speedup_feed_over_snapshot,omitempty"`
 }
 
 // speedupPairs names the benchmark suffix conventions the summary
@@ -67,6 +81,7 @@ var speedupPairs = []struct {
 }{
 	{"Scan", "Bitset", func(s *summary) map[string]float64 { return s.Speedups }},
 	{"Naive", "Planned", func(s *summary) map[string]float64 { return s.PlanSpeedups }},
+	{"Feed", "Snapshot", func(s *summary) map[string]float64 { return s.WarmSpeedups }},
 }
 
 func main() {
@@ -76,6 +91,8 @@ func main() {
 	compare := flag.String("compare", "", "gate against this prior summary JSON (read before -out is written)")
 	tolerance := flag.Float64("tolerance", 0.35, "relative ns/op growth beyond which a shared benchmark regresses")
 	floor := flag.Float64("floor", 100_000, "skip the gate for benchmarks under this many ns/op in the old summary (noise)")
+	trend := flag.String("trend", "", "gate against the per-benchmark best of this JSONL run series, then append this run")
+	trendTolerance := flag.Float64("trend-tolerance", 0.75, "relative growth over the series best beyond which the trend gate fails")
 	flag.Parse()
 
 	// Read the baseline before anything is written so -compare and
@@ -113,6 +130,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks, %d speedups)\n", *out, len(doc.NsPerOp), len(doc.Speedups))
 	}
 
+	breached := false
 	if baseline != nil {
 		report := compareSummaries(baseline.NsPerOp, doc.NsPerOp, *tolerance, *floor)
 		fmt.Fprintf(os.Stderr, "gate: %d compared, %d under floor, %d only in one summary\n",
@@ -130,13 +148,116 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond tolerance against %s\n",
 				len(report.regressions), *compare)
-			// Exit 2 distinguishes a confirmed regression from tool
-			// errors (log.Fatal's exit 1): CI treats 2 as a gate
-			// verdict and anything else as a broken bench run.
-			os.Exit(2)
+			breached = true
+		} else {
+			fmt.Fprintln(os.Stderr, "gate: ok")
 		}
-		fmt.Fprintln(os.Stderr, "gate: ok")
 	}
+
+	if *trend != "" {
+		history, err := readTrend(*trend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := trendBest(history)
+		report := compareSummaries(best, doc.NsPerOp, *trendTolerance, *floor)
+		if len(history) == 0 {
+			fmt.Fprintf(os.Stderr, "trend: empty series %s, recording the first run\n", *trend)
+		} else {
+			fmt.Fprintf(os.Stderr, "trend: %d run(s) in series, %d benchmark(s) gated against the best\n",
+				len(history), report.compared)
+		}
+		for _, r := range report.regressions {
+			fmt.Fprintf(os.Stderr, "TREND %s: best %.0f -> %.0f ns/op (%+.0f%%, tolerance %.0f%%)\n",
+				r.name, r.oldNs, r.newNs, 100*(r.newNs/r.oldNs-1), 100**trendTolerance)
+		}
+		// The fresh run joins the series whether it breached or not:
+		// the history must record what actually happened.
+		if err := appendTrend(*trend, doc.NsPerOp); err != nil {
+			log.Fatal(err)
+		}
+		if len(report.regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) drifted beyond the series best in %s\n",
+				len(report.regressions), *trend)
+			breached = true
+		} else {
+			fmt.Fprintln(os.Stderr, "trend: ok")
+		}
+	}
+
+	if breached {
+		// Exit 2 distinguishes a confirmed regression from tool errors
+		// (log.Fatal's exit 1): CI treats 2 as a gate verdict and
+		// anything else as a broken bench run.
+		os.Exit(2)
+	}
+}
+
+// trendEntry is one JSONL line of a -trend series: the medians of one
+// benchmark run.
+type trendEntry struct {
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// readTrend loads a JSONL run series. A missing file is an empty
+// series (the first run bootstraps it); a malformed line is an error —
+// a corrupted history must not silently weaken the gate.
+func readTrend(path string) ([]trendEntry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var history []trendEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e trendEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("parse %s line %d: %w", path, len(history)+1, err)
+		}
+		history = append(history, e)
+	}
+	return history, sc.Err()
+}
+
+// trendBest reduces a run series to the per-benchmark minimum ns/op —
+// the best the benchmark has ever done, the reference the trend gate
+// measures drift against.
+func trendBest(history []trendEntry) map[string]float64 {
+	best := make(map[string]float64)
+	for _, e := range history {
+		for name, ns := range e.NsPerOp {
+			if cur, ok := best[name]; !ok || ns < cur {
+				best[name] = ns
+			}
+		}
+	}
+	return best
+}
+
+// appendTrend records one run at the end of the series file.
+func appendTrend(path string, nsPerOp map[string]float64) error {
+	line, err := json.Marshal(trendEntry{NsPerOp: nsPerOp})
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseBench scans `go test -bench` output, echoing every line to echo
@@ -170,6 +291,7 @@ func buildSummary(samples map[string][]float64) *summary {
 		NsPerOp:      make(map[string]float64, len(samples)),
 		Speedups:     make(map[string]float64),
 		PlanSpeedups: make(map[string]float64),
+		WarmSpeedups: make(map[string]float64),
 	}
 	for name, ns := range samples {
 		sort.Float64s(ns)
@@ -193,6 +315,9 @@ func buildSummary(samples map[string][]float64) *summary {
 	}
 	if len(doc.PlanSpeedups) == 0 {
 		doc.PlanSpeedups = nil
+	}
+	if len(doc.WarmSpeedups) == 0 {
+		doc.WarmSpeedups = nil
 	}
 	return doc
 }

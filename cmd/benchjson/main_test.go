@@ -2,6 +2,8 @@ package main
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -31,10 +33,12 @@ func TestParseBenchStripsCPUSuffix(t *testing.T) {
 
 func TestBuildSummaryMedianAndSpeedups(t *testing.T) {
 	doc := buildSummary(map[string][]float64{
-		"BenchmarkKWise100kScan":   {3000000, 1000000, 2000000},
-		"BenchmarkKWise100kBitset": {400000},
-		"BenchmarkJoinNaive":       {80000000},
-		"BenchmarkJoinPlanned":     {2000000},
+		"BenchmarkKWise100kScan":         {3000000, 1000000, 2000000},
+		"BenchmarkKWise100kBitset":       {400000},
+		"BenchmarkJoinNaive":             {80000000},
+		"BenchmarkJoinPlanned":           {2000000},
+		"BenchmarkWarmStart100kFeed":     {5000000000},
+		"BenchmarkWarmStart100kSnapshot": {10000000},
 	})
 	if got := doc.NsPerOp["BenchmarkKWise100kScan"]; got != 2000000 {
 		t.Errorf("median = %v, want 2000000", got)
@@ -44,6 +48,9 @@ func TestBuildSummaryMedianAndSpeedups(t *testing.T) {
 	}
 	if got := doc.PlanSpeedups["BenchmarkJoin"]; got != 40 {
 		t.Errorf("naive/planned speedup = %v, want 40", got)
+	}
+	if got := doc.WarmSpeedups["BenchmarkWarmStart100k"]; got != 500 {
+		t.Errorf("feed/snapshot speedup = %v, want 500", got)
 	}
 }
 
@@ -85,5 +92,63 @@ func TestCompareSummariesExactTolerancePasses(t *testing.T) {
 	fresh := map[string]float64{"BenchmarkEdge": 1_350_000}
 	if rep := compareSummaries(old, fresh, 0.35, 0); len(rep.regressions) != 0 {
 		t.Fatalf("exactly-at-tolerance flagged as regression: %+v", rep.regressions)
+	}
+}
+
+func TestTrendSeriesRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "series.jsonl")
+
+	// A missing series bootstraps silently.
+	history, err := readTrend(path)
+	if err != nil || history != nil {
+		t.Fatalf("readTrend(missing) = %v, %v; want empty, nil", history, err)
+	}
+
+	runs := []map[string]float64{
+		{"BenchmarkA": 2_000_000, "BenchmarkB": 900_000},
+		{"BenchmarkA": 1_000_000, "BenchmarkB": 1_100_000},
+		{"BenchmarkA": 1_500_000},
+	}
+	for _, run := range runs {
+		if err := appendTrend(path, run); err != nil {
+			t.Fatalf("appendTrend: %v", err)
+		}
+	}
+	history, err = readTrend(path)
+	if err != nil {
+		t.Fatalf("readTrend: %v", err)
+	}
+	if len(history) != 3 {
+		t.Fatalf("series length = %d, want 3", len(history))
+	}
+	best := trendBest(history)
+	if best["BenchmarkA"] != 1_000_000 || best["BenchmarkB"] != 900_000 {
+		t.Errorf("trendBest = %v, want per-benchmark minima", best)
+	}
+}
+
+func TestTrendGateAgainstBest(t *testing.T) {
+	history := []trendEntry{
+		{NsPerOp: map[string]float64{"BenchmarkA": 1_000_000, "BenchmarkB": 1_000_000}},
+		{NsPerOp: map[string]float64{"BenchmarkA": 3_000_000}},
+	}
+	fresh := map[string]float64{
+		"BenchmarkA": 2_000_000, // +100% over the best run: breached
+		"BenchmarkB": 1_500_000, // +50%: inside the 75% headroom
+		"BenchmarkC": 9_000_000, // never recorded: ignored
+	}
+	rep := compareSummaries(trendBest(history), fresh, 0.75, 100_000)
+	if len(rep.regressions) != 1 || rep.regressions[0].name != "BenchmarkA" {
+		t.Fatalf("trend regressions = %+v, want exactly BenchmarkA", rep.regressions)
+	}
+}
+
+func TestReadTrendRejectsCorruptLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "series.jsonl")
+	if err := os.WriteFile(path, []byte("{\"ns_per_op\":{\"BenchmarkA\":1}}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readTrend(path); err == nil {
+		t.Fatal("readTrend accepted a corrupt series line")
 	}
 }

@@ -11,6 +11,10 @@
 //
 //	nvdgen -out feeds/
 //	nvdgen -out feeds/ -synthetic -entries 100000 -distros 32 -seed 1
+//
+// With -snapshot the written feeds are immediately digested through the
+// streaming pipeline and persisted as a columnar snapshot, so `osdiv
+// -snapshot` can warm-start without re-parsing the XML.
 package main
 
 import (
@@ -33,6 +37,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "synthetic corpus seed (with -synthetic)")
 	fromYear := flag.Int("from", 2002, "first synthetic publication year (with -synthetic)")
 	toYear := flag.Int("to", 2025, "last synthetic publication year (with -synthetic)")
+	snapPath := flag.String("snapshot", "", "also digest the written feeds and persist a columnar snapshot here")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		flag.Usage()
@@ -58,4 +63,15 @@ func main() {
 		fmt.Println(p)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d feeds to %s\n", len(paths), *out)
+
+	if *snapPath != "" {
+		sopts := []osdiversity.Option{opt, osdiversity.WithSnapshot(*snapPath)}
+		if *synthetic {
+			sopts = append(sopts, osdiversity.WithSyntheticUniverse(*distros))
+		}
+		if _, err := osdiversity.StreamFeeds(paths, sopts...); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote snapshot %s\n", *snapPath)
+	}
 }

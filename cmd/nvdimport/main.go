@@ -13,7 +13,8 @@
 // silently lost. With -table3 the import finishes by running the
 // grouped pairwise SQL query (the paper's Table III v(AB) matrix)
 // against the freshly written database, as a smoke test of the SQL
-// path.
+// path. With -snapshot the digested study is also persisted as a
+// columnar snapshot file, the warm-start input of `osdiv -snapshot`.
 package main
 
 import (
@@ -33,9 +34,10 @@ func main() {
 	stream := flag.Bool("stream", false, "ingest through the bounded streaming pipeline (constant memory)")
 	lenient := flag.Bool("lenient", false, "skip and count malformed feed entries instead of failing")
 	table3 := flag.Bool("table3", false, "after importing, print the Table III pairwise matrix via the SQL engine")
+	snapPath := flag.String("snapshot", "", "also persist the digested study as a columnar snapshot here")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: nvdimport [-db study.db] [-workers n] [-stream] [-lenient] [-table3] feed.xml[.gz]...")
+		fmt.Fprintln(os.Stderr, "usage: nvdimport [-db study.db] [-workers n] [-stream] [-lenient] [-table3] [-snapshot study.osds] feed.xml[.gz]...")
 		os.Exit(2)
 	}
 
@@ -47,6 +49,9 @@ func main() {
 	if *lenient {
 		opts = append(opts, osdiversity.WithLenient())
 	}
+	if *snapPath != "" {
+		opts = append(opts, osdiversity.WithSnapshot(*snapPath))
+	}
 	importFeeds := osdiversity.ImportFeeds
 	if *stream {
 		importFeeds = osdiversity.ImportFeedsStream
@@ -57,6 +62,9 @@ func main() {
 	}
 	fmt.Printf("imported %d entries (%d skipped: no clustered OS product, %d malformed entries dropped) into %s\n",
 		stored, skipped, stats.MalformedSkipped, *db)
+	if *snapPath != "" {
+		fmt.Fprintf(os.Stderr, "wrote snapshot %s\n", *snapPath)
+	}
 
 	if *table3 {
 		cells, err := osdiversity.SQLPairwiseShared(*db, osdiversity.WithParallelism(*workers))

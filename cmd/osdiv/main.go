@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	osdiv [-db study.db | -feeds dir [-stream]] <subcommand>
+//	osdiv [-db study.db | -feeds dir [-stream] | -snapshot study.osds] <subcommand>
 //
 // Subcommands:
 //
@@ -20,8 +20,13 @@
 //	          (-addr, -max-inflight; drains gracefully on SIGTERM)
 //
 // `tables -json` prints the httpapi wire documents instead of ASCII
-// tables; `osdiv tables -t 3 -json` is byte-identical to the server's
+// tables — the corpus provenance document first, then tables 1-6;
+// `osdiv tables -t 3 -json` is byte-identical to the server's
 // /api/table3 response (the CI smoke step diffs them).
+//
+// `-snapshot study.osds` warm-starts any subcommand, serve included,
+// from a columnar snapshot written by nvdimport/nvdgen — no feed or
+// database needed, and the reported tables are byte-identical.
 package main
 
 import (
@@ -51,6 +56,7 @@ func main() {
 	synthetic := flag.Int("synthetic", 0, "analyze a seeded synthetic modern-NVD corpus of this many entries")
 	distros := flag.Int("distros", 32, "synthetic universe width (with -synthetic)")
 	seed := flag.Uint64("seed", 1, "synthetic corpus seed (with -synthetic)")
+	snapPath := flag.String("snapshot", "", "warm-start from a columnar snapshot file (read-only)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
@@ -66,7 +72,7 @@ func main() {
 
 	cfg := loadConfig{
 		db: *db, feeds: *feeds, workers: *workers, engine: *engine, stream: *stream,
-		synthetic: *synthetic, distros: *distros, seed: *seed,
+		synthetic: *synthetic, distros: *distros, seed: *seed, snapshot: *snapPath,
 	}
 	a, err := loadAnalysis(cfg)
 	if err != nil {
@@ -76,7 +82,7 @@ func main() {
 	args := flag.Args()[1:]
 	switch flag.Arg(0) {
 	case "tables":
-		err = runTables(a, args)
+		err = runTables(a, cfg, args)
 	case "figures":
 		err = runFigures(a, args)
 	case "kwise":
@@ -98,7 +104,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir [-stream] | -synthetic n] [-workers n] [-engine bitset|scan] tables|figures|kwise|select|releases|simulate|sqltable3|serve [options]")
+	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir [-stream] | -synthetic n | -snapshot file] [-workers n] [-engine bitset|scan] tables|figures|kwise|select|releases|simulate|sqltable3|serve [options]")
 	os.Exit(2)
 }
 
@@ -129,6 +135,7 @@ type loadConfig struct {
 	synthetic int
 	distros   int
 	seed      uint64
+	snapshot  string
 }
 
 func loadAnalysis(cfg loadConfig) (*osdiversity.Analysis, error) {
@@ -143,7 +150,12 @@ func loadAnalysis(cfg loadConfig) (*osdiversity.Analysis, error) {
 	if cfg.stream && cfg.feeds == "" {
 		return nil, fmt.Errorf("-stream needs -feeds (the streaming pipeline ingests XML feeds)")
 	}
+	if cfg.snapshot != "" && (cfg.db != "" || cfg.feeds != "" || cfg.synthetic > 0) {
+		return nil, fmt.Errorf("-snapshot is a complete corpus; it cannot combine with -db, -feeds or -synthetic")
+	}
 	switch {
+	case cfg.snapshot != "":
+		return osdiversity.LoadSnapshot(cfg.snapshot, opts...)
 	case cfg.synthetic > 0:
 		return osdiversity.LoadSynthetic(osdiversity.SyntheticSpec{
 			Entries: cfg.synthetic, Distros: cfg.distros, Seed: cfg.seed,
@@ -164,7 +176,7 @@ func loadAnalysis(cfg loadConfig) (*osdiversity.Analysis, error) {
 	}
 }
 
-func runTables(a *osdiversity.Analysis, args []string) error {
+func runTables(a *osdiversity.Analysis, cfg loadConfig, args []string) error {
 	fs := flag.NewFlagSet("tables", flag.ExitOnError)
 	which := fs.Int("t", 0, "table number (1-6); 0 prints all")
 	asJSON := fs.Bool("json", false, "emit the httpapi wire documents (the bytes `osdiv serve` answers)")
@@ -172,7 +184,7 @@ func runTables(a *osdiversity.Analysis, args []string) error {
 		return err
 	}
 	if *asJSON {
-		return runTablesJSON(a, *which)
+		return runTablesJSON(a, cfg, *which)
 	}
 	printed := false
 	show := func(n int) bool { return *which == 0 || *which == n }
@@ -206,8 +218,10 @@ func runTables(a *osdiversity.Analysis, args []string) error {
 }
 
 // runTablesJSON prints tables as httpapi wire documents, one JSON line
-// per table, byte-identical to the server's /api/tableN responses.
-func runTablesJSON(a *osdiversity.Analysis, which int) error {
+// per table, byte-identical to the server's /api/tableN responses. The
+// all-tables form leads with the corpus provenance document (the
+// /corpus bytes: source, engine, epoch, snapshot digest).
+func runTablesJSON(a *osdiversity.Analysis, cfg loadConfig, which int) error {
 	builders := map[int]func() (any, error){
 		1: func() (any, error) { return server.BuildTable1(a), nil },
 		2: func() (any, error) { return server.BuildTable2(a), nil },
@@ -237,6 +251,18 @@ func runTablesJSON(a *osdiversity.Analysis, which int) error {
 			return fmt.Errorf("unknown table %d", which)
 		}
 		return emit(which)
+	}
+	engine := cfg.engine
+	if engine == "" {
+		engine = "bitset"
+	}
+	corpus := server.BuildCorpus(a, sourceName(cfg), engine, a.Parallelism(), cfg.db != "")
+	b, err := httpapi.Marshal(corpus)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stdout.Write(b); err != nil {
+		return err
 	}
 	for n := 1; n <= 6; n++ {
 		if err := emit(n); err != nil {

@@ -259,8 +259,66 @@ func TestTablesJSONIdentity(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code %d, stderr: %s", code, stderr)
 	}
-	if got := strings.Count(stdout, "\n"); got != 6 {
-		t.Errorf("tables -json printed %d lines, want 6 (one document per table)", got)
+	if got := strings.Count(stdout, "\n"); got != 7 {
+		t.Errorf("tables -json printed %d lines, want 7 (corpus provenance, then one document per table)", got)
+	}
+	first := stdout[:strings.IndexByte(stdout, '\n')+1]
+	for _, want := range []string{`"source":"calibrated"`, `"engine":"bitset"`, `"epoch_unix":`} {
+		if !strings.Contains(first, want) {
+			t.Errorf("corpus line missing %s: %.300s", want, first)
+		}
+	}
+	if strings.Contains(first, "snapshot_digest") {
+		t.Errorf("feed-built corpus line reports a snapshot digest: %.300s", first)
+	}
+}
+
+// TestSnapshotBootSmoke round-trips the calibrated corpus through a
+// snapshot file and asserts `osdiv -snapshot` prints the same tables,
+// reports the snapshot provenance, and refuses conflicting sources.
+func TestSnapshotBootSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the corpus")
+	}
+	path := filepath.Join(t.TempDir(), "study.osds")
+	if _, err := osdiversity.LoadCalibrated(osdiversity.WithSnapshot(path)); err != nil {
+		t.Fatalf("LoadCalibrated(WithSnapshot): %v", err)
+	}
+
+	fromSnap, stderr, code := runOsdiv(t, "-snapshot", path, "tables", "-t", "3")
+	if code != 0 {
+		t.Fatalf("snapshot tables exit code %d, stderr: %s", code, stderr)
+	}
+	fromFeed, stderr, code := runOsdiv(t, "tables", "-t", "3")
+	if code != 0 {
+		t.Fatalf("calibrated tables exit code %d, stderr: %s", code, stderr)
+	}
+	if fromSnap != fromFeed {
+		t.Errorf("-snapshot Table III differs from calibrated build\n got: %.300s\nwant: %.300s", fromSnap, fromFeed)
+	}
+
+	stdout, stderr, code := runOsdiv(t, "-snapshot", path, "tables", "-json")
+	if code != 0 {
+		t.Fatalf("snapshot tables -json exit code %d, stderr: %s", code, stderr)
+	}
+	first := stdout[:strings.IndexByte(stdout, '\n')+1]
+	for _, want := range []string{`"source":"snapshot:`, `"snapshot_digest":"crc32c:`} {
+		if !strings.Contains(first, want) {
+			t.Errorf("snapshot corpus line missing %s: %.300s", want, first)
+		}
+	}
+
+	_, stderr, code = runOsdiv(t, "-snapshot", path, "-feeds", "somewhere", "tables")
+	if code == 0 {
+		t.Fatal("-snapshot with -feeds succeeded, want failure")
+	}
+	if !strings.Contains(stderr, "cannot combine") {
+		t.Errorf("stderr missing conflict diagnostic: %s", stderr)
+	}
+
+	_, stderr, code = runOsdiv(t, "-snapshot", filepath.Join(t.TempDir(), "absent.osds"), "tables")
+	if code == 0 {
+		t.Fatal("-snapshot with a missing file succeeded, want failure")
 	}
 }
 

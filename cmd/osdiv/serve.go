@@ -60,6 +60,8 @@ func parseServeFlags(args []string) (serveOptions, error) {
 // sourceName describes the loaded corpus for the /corpus endpoint.
 func sourceName(cfg loadConfig) string {
 	switch {
+	case cfg.snapshot != "":
+		return "snapshot:" + cfg.snapshot
 	case cfg.synthetic > 0:
 		return fmt.Sprintf("synthetic:%d", cfg.synthetic)
 	case cfg.db != "":

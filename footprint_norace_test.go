@@ -57,9 +57,24 @@ func footprintFeeds(tb testing.TB) map[int][]string {
 	return footprintPaths
 }
 
-// peakStreamFootprint drains a stream while sampling the heap,
-// returning the entry count and the peak allocation above the
-// pre-stream baseline.
+// footprintSampleEvery is the forced-GC sampling cadence of
+// peakStreamFootprint: frequent enough that retention growing with
+// volume shows up mid-stream, sparse enough that the forced collections
+// stay a small fraction of the streaming time.
+const footprintSampleEvery = 2048
+
+// peakStreamFootprint drains a stream while sampling the live heap,
+// returning the entry count and the peak retention above the pre-stream
+// baseline.
+//
+// Each sample forces a collection first, so HeapAlloc reads live memory
+// rather than live-plus-floating-garbage. Retained memory survives the
+// GC, so growth with feed volume is still caught; without the forced
+// GC the pacer lets floating garbage grow in proportion to the whole
+// live heap, and resident fixtures held by *other* tests or benchmarks
+// in the same process (the 100k study caches are tens of MB) would
+// dominate the measurement and drown the streaming path's own
+// footprint.
 func peakStreamFootprint(tb testing.TB, paths []string, workers int) (entries int, peak uint64) {
 	tb.Helper()
 	runtime.GC()
@@ -69,18 +84,23 @@ func peakStreamFootprint(tb testing.TB, paths []string, workers int) (entries in
 	st := nvdfeed.StreamFiles(paths, nvdfeed.Workers(workers))
 	defer st.Close()
 	var maxHeap uint64
+	sample := func() {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > maxHeap {
+			maxHeap = ms.HeapAlloc
+		}
+	}
 	for range st.Entries() {
 		entries++
-		if entries%512 == 0 {
-			runtime.ReadMemStats(&ms)
-			if ms.HeapAlloc > maxHeap {
-				maxHeap = ms.HeapAlloc
-			}
+		if entries%footprintSampleEvery == 0 {
+			sample()
 		}
 	}
 	if err := st.Err(); err != nil {
 		tb.Fatalf("stream: %v", err)
 	}
+	sample()
 	if maxHeap <= base {
 		return entries, 0
 	}

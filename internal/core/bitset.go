@@ -720,10 +720,11 @@ func (s *Study) releaseBits(d osmap.Distro, version string) []uint64 {
 		return bs
 	}
 	idx := s.bitIndex()
+	rc := s.relColumns()
 	bs = make([]uint64, idx.words)
 	alignedShards(s.workers(), idx.n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			if s.affectsRelease(&s.records[i], d, version) {
+			if rc.affectsRelease(i, d, version) {
 				bs[i>>6] |= 1 << uint(i&63)
 			}
 		}
@@ -776,7 +777,7 @@ func (s *Study) mostSharedOrder() []int {
 			for b := lo; b < hi; b++ {
 				ids := buckets[b]
 				sort.Slice(ids, func(x, y int) bool {
-					return s.records[ids[x]].entry.ID.Less(s.records[ids[y]].entry.ID)
+					return s.records[ids[x]].id.Less(s.records[ids[y]].id)
 				})
 			}
 		})

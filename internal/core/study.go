@@ -68,7 +68,8 @@ func Profiles() []Profile { return []Profile{FatServer, ThinServer, IsolatedThin
 
 // record is the per-entry digest the analyses run on.
 type record struct {
-	entry    *cve.Entry
+	entry    *cve.Entry // source entry; nil when adopted from snapshot columns
+	id       cve.ID     // identifier, duplicated out of entry so queries never need it
 	mask     osmap.Mask // bit i set = affects the study's Distros()[i]
 	nos      int        // cached mask popcount (affected distro count)
 	class    classify.Class
@@ -115,6 +116,20 @@ type Study struct {
 	// bitsets for the Table VI queries.
 	relMu   sync.Mutex
 	relBits map[releaseKey][]uint64
+
+	// relOnce/relCols lazily flatten each valid record's clustered
+	// (distro, CPE version) references into columnar form — the data the
+	// Table VI release matching runs on. Feed-built studies derive them
+	// from the retained entries on first use; snapshot-loaded studies
+	// adopt them directly (the source entries are not persisted).
+	relOnce sync.Once
+	relCols relColumns
+
+	// synthOnce/synthEntries back MostSharedEntries for snapshot-loaded
+	// studies, whose records carry no source entry: minimal entries are
+	// materialized once, on demand.
+	synthOnce    sync.Once
+	synthEntries []*cve.Entry
 
 	cacheMu sync.Mutex
 	cache   map[ckey]*cacheEntry
@@ -258,6 +273,7 @@ func (s *Study) digest(e *cve.Entry, mask osmap.Mask) (record, bool) {
 	}
 	return record{
 		entry:    e,
+		id:       e.ID,
 		mask:     mask,
 		nos:      nos,
 		class:    s.classifier.Classify(e),
@@ -765,9 +781,31 @@ func (s *Study) MostSharedEntries(n int) []*cve.Entry {
 	}
 	out := make([]*cve.Entry, n)
 	for i := 0; i < n; i++ {
-		out[i] = s.records[order[i]].entry
+		out[i] = s.entryAt(order[i])
 	}
 	return out
+}
+
+// entryAt returns the valid record's source entry, or — for records
+// adopted from a snapshot, which carry none — a minimal entry holding
+// the persisted identifier. The synthetic entries are materialized once
+// for the whole study so concurrent queries share one slice.
+func (s *Study) entryAt(i int) *cve.Entry {
+	if e := s.records[i].entry; e != nil {
+		return e
+	}
+	s.synthOnce.Do(func() {
+		es := make([]*cve.Entry, len(s.records))
+		for j := range s.records {
+			if s.records[j].entry == nil {
+				es[j] = &cve.Entry{ID: s.records[j].id}
+			} else {
+				es[j] = s.records[j].entry
+			}
+		}
+		s.synthEntries = es
+	})
+	return s.synthEntries[i]
 }
 
 // FilterReduction computes §IV-E(1): the average relative reduction of
@@ -801,14 +839,14 @@ func (s *Study) ReleaseOverlap(da osmap.Distro, va string, db osmap.Distro, vb s
 	if s.useBitset() {
 		return s.releaseOverlapBitset(da, va, db, vb)
 	}
+	rc := s.relColumns()
 	if s.isParallel() {
-		n := reduceShards(s.workers(), s.records,
+		n := reduceRangeShards(s.workers(), len(s.records),
 			func() *int { return new(int) },
-			func(a *int, shard []record) {
-				for i := range shard {
-					r := &shard[i]
-					if r.matches(IsolatedThinServer) &&
-						s.affectsRelease(r, da, va) && s.affectsRelease(r, db, vb) {
+			func(a *int, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if s.records[i].matches(IsolatedThinServer) &&
+						rc.affectsRelease(i, da, va) && rc.affectsRelease(i, db, vb) {
 						*a++
 					}
 				}
@@ -818,24 +856,14 @@ func (s *Study) ReleaseOverlap(da osmap.Distro, va string, db osmap.Distro, vb s
 	}
 	n := 0
 	for i := range s.records {
-		r := &s.records[i]
-		if !r.matches(IsolatedThinServer) {
+		if !s.records[i].matches(IsolatedThinServer) {
 			continue
 		}
-		if s.affectsRelease(r, da, va) && s.affectsRelease(r, db, vb) {
+		if rc.affectsRelease(i, da, va) && rc.affectsRelease(i, db, vb) {
 			n++
 		}
 	}
 	return n
-}
-
-func (s *Study) affectsRelease(r *record, d osmap.Distro, version string) bool {
-	for _, p := range r.entry.Products {
-		if got, ok := s.registry.Cluster(p); ok && got == d && p.Version == version {
-			return true
-		}
-	}
-	return false
 }
 
 // VulnRef is one valid vulnerability with its affected distributions,
@@ -854,7 +882,7 @@ func (s *Study) Vulnerabilities(profile Profile) []VulnRef {
 		if !r.matches(profile) {
 			continue
 		}
-		ref := VulnRef{ID: r.entry.ID, Distros: make([]osmap.Distro, 0, r.nos)}
+		ref := VulnRef{ID: r.id, Distros: make([]osmap.Distro, 0, r.nos)}
 		r.mask.ForEachBit(func(b int) {
 			ref.Distros = append(ref.Distros, s.distros[b])
 		})

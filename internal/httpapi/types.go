@@ -15,18 +15,25 @@ type Health struct {
 	Status string `json:"status"`
 }
 
-// CorpusInfo is the /corpus document: what the resident server loaded
-// and how it executes queries.
+// CorpusInfo is the /corpus document: what the resident server loaded,
+// how it executes queries, and where the corpus came from. EpochUnix is
+// when the corpus was built — for snapshot boots, the snapshot's save
+// time, so every replica warm-started from one file reports the same
+// epoch. SnapshotDigest is the snapshot payload checksum
+// ("crc32c:xxxxxxxx"), empty for feed-built corpora.
 type CorpusInfo struct {
-	Source       string   `json:"source"`
-	Engine       string   `json:"engine"`
-	Workers      int      `json:"workers"`
-	ValidEntries int      `json:"valid_entries"`
-	Distros      int      `json:"distros"`
-	OSNames      []string `json:"os_names"`
-	YearFrom     int      `json:"year_from"`
-	YearTo       int      `json:"year_to"`
-	SQL          bool     `json:"sql"`
+	Source         string   `json:"source"`
+	Engine         string   `json:"engine"`
+	Workers        int      `json:"workers"`
+	ValidEntries   int      `json:"valid_entries"`
+	Distros        int      `json:"distros"`
+	OSNames        []string `json:"os_names"`
+	YearFrom       int      `json:"year_from"`
+	YearTo         int      `json:"year_to"`
+	SQL            bool     `json:"sql"`
+	EpochUnix      int64    `json:"epoch_unix"`
+	SnapshotDigest string   `json:"snapshot_digest,omitempty"`
+	Skipped        int      `json:"skipped,omitempty"`
 }
 
 // ValidityRow is one row of Table I.

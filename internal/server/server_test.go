@@ -8,6 +8,7 @@ import (
 	"net/url"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 
@@ -172,6 +173,69 @@ func TestEndpointIdentityAcrossWorkers(t *testing.T) {
 					bodies[1], bodies[4])
 			}
 		})
+	}
+}
+
+// TestSnapshotBootIdentity boots one server from the calibrated build
+// and one from its snapshot file: every endpoint must answer identical
+// bytes, and /corpus must carry the snapshot provenance.
+func TestSnapshotBootIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the corpus")
+	}
+	path := filepath.Join(t.TempDir(), "study.osds")
+	built, err := osdiversity.LoadCalibrated(osdiversity.WithParallelism(2), osdiversity.WithSnapshot(path))
+	if err != nil {
+		t.Fatalf("LoadCalibrated(WithSnapshot): %v", err)
+	}
+	loaded, err := osdiversity.LoadSnapshot(path, osdiversity.WithParallelism(2))
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	t.Cleanup(func() { loaded.Close() })
+
+	clients := make(map[string]*httpapi.Client)
+	for name, a := range map[string]*osdiversity.Analysis{"feed": built, "snapshot": loaded} {
+		srv := server.New(a, server.Config{Source: name, Engine: "bitset", Workers: 2})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		c := httpapi.NewClient(ts.URL)
+		c.HTTP = ts.Client()
+		clients[name] = c
+	}
+
+	for _, probe := range endpointProbes(built) {
+		t.Run(probe.name, func(t *testing.T) {
+			feed, err := clients["feed"].GetRaw(probe.path, probe.query)
+			if err != nil {
+				t.Fatalf("GET %s (feed): %v", probe.path, err)
+			}
+			snap, err := clients["snapshot"].GetRaw(probe.path, probe.query)
+			if err != nil {
+				t.Fatalf("GET %s (snapshot): %v", probe.path, err)
+			}
+			if !bytes.Equal(feed, snap) {
+				t.Errorf("snapshot-booted body differs from feed-booted body\nfeed: %.200s\nsnap: %.200s", feed, snap)
+			}
+		})
+	}
+
+	info, err := clients["snapshot"].Corpus()
+	if err != nil {
+		t.Fatalf("Corpus: %v", err)
+	}
+	if !strings.HasPrefix(info.SnapshotDigest, "crc32c:") {
+		t.Errorf("snapshot_digest = %q, want crc32c-prefixed", info.SnapshotDigest)
+	}
+	if info.EpochUnix != built.Epoch().Unix() {
+		t.Errorf("epoch_unix = %d, want the build's save time %d", info.EpochUnix, built.Epoch().Unix())
+	}
+	feedInfo, err := clients["feed"].Corpus()
+	if err != nil {
+		t.Fatalf("Corpus (feed): %v", err)
+	}
+	if feedInfo.SnapshotDigest != "" {
+		t.Errorf("feed-booted snapshot_digest = %q, want empty", feedInfo.SnapshotDigest)
 	}
 }
 

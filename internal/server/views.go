@@ -56,15 +56,18 @@ func BuildCorpus(a *osdiversity.Analysis, source, engine string, workers int, sq
 	}
 	lo, hi := a.YearRange()
 	return httpapi.CorpusInfo{
-		Source:       source,
-		Engine:       engine,
-		Workers:      workers,
-		ValidEntries: a.ValidCount(),
-		Distros:      len(names),
-		OSNames:      names,
-		YearFrom:     lo,
-		YearTo:       hi,
-		SQL:          sql,
+		Source:         source,
+		Engine:         engine,
+		Workers:        workers,
+		ValidEntries:   a.ValidCount(),
+		Distros:        len(names),
+		OSNames:        names,
+		YearFrom:       lo,
+		YearTo:         hi,
+		SQL:            sql,
+		EpochUnix:      a.Epoch().Unix(),
+		SnapshotDigest: a.SnapshotDigest(),
+		Skipped:        a.MalformedSkipped(),
 	}
 }
 

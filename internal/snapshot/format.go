@@ -1,0 +1,134 @@
+// Package snapshot persists a digested core.Study as a versioned,
+// checksummed columnar file — the ".osds" warm-start format. A file is a
+// fixed 64-byte header, a section table, and 8-byte-aligned
+// little-endian section payloads; on little-endian hosts a reader
+// memory-maps the file and reslices the []uint64 columns in place, so a
+// 100k-entry study boots in the time it takes to verify a checksum.
+//
+// Layout:
+//
+//	offset  size  field
+//	0       8     magic "OSDSNAP1"
+//	8       4     format version (little-endian u32)
+//	12      4     section count (u32)
+//	16      8     file size (u64) — truncation fails fast
+//	24      4     CRC-32C of the section table
+//	28      4     CRC-32C of the payload region
+//	32      32    reserved (zero)
+//	64      24×N  section table: {id u32, reserved u32, off u64, len u64}
+//	...           payloads, each at an 8-byte-aligned offset, zero-padded
+//
+// Every section is required, offsets are bounds-checked before use, and
+// unknown section IDs or newer format versions are refused with a clear
+// error: a reader either adopts exactly the columns a writer produced or
+// reports why it cannot.
+package snapshot
+
+import "encoding/json"
+
+const (
+	// magic identifies an osdiversity snapshot, version-suffixed so a
+	// hypothetical incompatible rewrite can change the tail byte.
+	magic = "OSDSNAP1"
+
+	// FormatVersion is the newest format this build reads and the one it
+	// writes. Readers refuse files from the future.
+	FormatVersion = 1
+
+	headerSize   = 64
+	secEntrySize = 24
+
+	// maxSections bounds the section count a reader will consider, so a
+	// hostile header cannot demand a gigabyte table.
+	maxSections = 256
+)
+
+// Section IDs. The writer emits all of them; the reader requires all of
+// them and refuses IDs it does not know.
+const (
+	secMeta            = 1  // JSON Meta document
+	secIDs             = 2  // u64: cve.ID packed Year<<32|Seq, year-sorted
+	secYears           = 3  // i32: publication year per valid record
+	secFlags           = 4  // u8: class index+1 (bits 0-2) | remote (bit 3)
+	secProducts        = 5  // u16: affected-product count per record
+	secPopcnt          = 6  // u16: affected-distro count per record
+	secMasks           = 7  // u64: per-record distro masks, MaskWords each
+	secRelOff          = 8  // i32: release-reference offsets, n+1
+	secRelRefs         = 9  // u64: distro<<32 | version string index
+	secRelVersions     = 10 // string table: u32 count, then u32 len + bytes
+	secInvFlags        = 11 // u8: validity index per invalid record
+	secInvMasks        = 12 // u64: invalid-record masks
+	secDistroPost      = 13 // u64: per-distro posting bitsets, concatenated
+	secClassPost       = 14 // u64: four class posting bitsets
+	secRemotePost      = 15 // u64: remote posting bitset
+	secYearStart       = 16 // i64: year segment offsets (empty when no records)
+	secMulti           = 17 // i32: indices of records affecting >= 2 distros
+	secMultiFlags      = 18 // u8: flags of those records
+	secMultiPairOff    = 19 // i32: pair-arena offsets, len(multi)+1
+	secMultiPairs      = 20 // i32: pair indices
+	secInvDistroPost   = 21 // u64: per-distro postings over invalid records
+	secInvValidityPost = 22 // u64: three validity postings over invalid records
+)
+
+// sectionName names a section ID for error messages.
+func sectionName(id uint32) string {
+	names := map[uint32]string{
+		secMeta: "meta", secIDs: "ids", secYears: "years", secFlags: "flags",
+		secProducts: "products", secPopcnt: "popcnt", secMasks: "masks",
+		secRelOff: "reloff", secRelRefs: "relrefs", secRelVersions: "relversions",
+		secInvFlags: "invflags", secInvMasks: "invmasks",
+		secDistroPost: "distropost", secClassPost: "classpost",
+		secRemotePost: "remotepost", secYearStart: "yearstart",
+		secMulti: "multi", secMultiFlags: "multiflags",
+		secMultiPairOff: "multipairoff", secMultiPairs: "multipairs",
+		secInvDistroPost: "invdistropost", secInvValidityPost: "invvaliditypost",
+	}
+	if n, ok := names[id]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// allSections lists every section ID in file order.
+var allSections = []uint32{
+	secMeta, secIDs, secYears, secFlags, secProducts, secPopcnt, secMasks,
+	secRelOff, secRelRefs, secRelVersions, secInvFlags, secInvMasks,
+	secDistroPost, secClassPost, secRemotePost, secYearStart,
+	secMulti, secMultiFlags, secMultiPairOff, secMultiPairs,
+	secInvDistroPost, secInvValidityPost,
+}
+
+// Meta is the provenance document embedded in every snapshot (section
+// 1, JSON). The shape fields (entry counts, universe dimensions, year
+// range) are filled by the writer from the columns themselves and
+// cross-checked by the reader; the provenance fields describe where the
+// corpus came from.
+type Meta struct {
+	// Tool names the writer ("osdiversity").
+	Tool string `json:"tool"`
+	// Universe reconstructs the registry: "paper" or "synthetic:<n>".
+	Universe string `json:"universe"`
+	// Source describes the corpus origin ("feeds", "calibrated",
+	// "synthetic:<n>", ...), echoed by /corpus after a snapshot boot.
+	Source string `json:"source"`
+	// SavedAtUnix is the save wall-clock time, the epoch a
+	// snapshot-booted process reports.
+	SavedAtUnix int64 `json:"saved_at_unix"`
+
+	ValidEntries   int `json:"valid_entries"`
+	InvalidEntries int `json:"invalid_entries"`
+	// SkippedEntries counts ingested entries with no clustered OS
+	// product; MalformedSkipped counts entries a lenient feed reader
+	// dropped before ingestion. Both survive the round trip.
+	SkippedEntries   int `json:"skipped_entries"`
+	MalformedSkipped int `json:"malformed_skipped"`
+
+	NumDistros int `json:"num_distros"`
+	MaskWords  int `json:"mask_words"`
+	MinYear    int `json:"min_year"`
+	MaxYear    int `json:"max_year"`
+}
+
+func (m Meta) marshal() ([]byte, error) { return json.Marshal(m) }
+
+func align8(n int) int { return (n + 7) &^ 7 }

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package snapshot
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile is unavailable on this platform; Open falls back to reading
+// the image through an io.ReaderAt.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("snapshot: mmap unsupported on this platform")
+}

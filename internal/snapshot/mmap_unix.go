@@ -1,0 +1,24 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps the file read-only. The returned release function
+// unmaps it; the file descriptor itself may be closed immediately (the
+// mapping persists).
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || size > math.MaxInt {
+		return nil, nil, fmt.Errorf("snapshot: cannot map %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,328 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"unsafe"
+
+	"osdiversity/internal/core"
+)
+
+// Snapshot is a decoded file: the provenance document, the adopted
+// columns, and the payload digest. The columns may alias an mmap'd
+// region — keep the Snapshot alive for as long as any Study built from
+// Cols, and Close it afterwards.
+type Snapshot struct {
+	Meta Meta
+	Cols core.Columns
+	// Digest identifies the payload ("crc32c:xxxxxxxx"), surfaced by
+	// /corpus so replicas booted from the same file are recognizable.
+	Digest string
+
+	closer func() error
+}
+
+// Close releases the underlying file mapping, if any. The columns must
+// not be used afterwards.
+func (s *Snapshot) Close() error {
+	if s == nil || s.closer == nil {
+		return nil
+	}
+	c := s.closer
+	s.closer = nil
+	return c()
+}
+
+// Open maps (or, where mmap is unavailable, reads) the file and decodes
+// it. Every failure — truncation, checksum mismatch, unknown sections,
+// future versions — is a wrapped error, never a panic.
+func Open(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	size := st.Size()
+	if size >= headerSize {
+		if data, closer, err := mapFile(f, size); err == nil {
+			snap, derr := Decode(data)
+			if derr != nil {
+				closer()
+				return nil, derr
+			}
+			snap.closer = closer
+			return snap, nil
+		}
+	}
+	// Portable fallback: pull the whole image through an io.ReaderAt.
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, fmt.Errorf("snapshot: read %s: %w", path, err)
+	}
+	return Decode(data)
+}
+
+// Decode validates and decodes one snapshot image. On little-endian
+// hosts the fixed-width columns alias data without copying (when their
+// offsets land on aligned addresses); otherwise they are decoded into
+// fresh slices.
+func Decode(data []byte) (*Snapshot, error) {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("snapshot: "+format, args...)
+	}
+	if len(data) < headerSize {
+		return nil, fail("truncated: %d bytes, need at least the %d-byte header", len(data), headerSize)
+	}
+	if string(data[:8]) != magic {
+		return nil, fail("bad magic %q: not an osdiversity snapshot", data[:8])
+	}
+	version := binary.LittleEndian.Uint32(data[8:])
+	if version > FormatVersion {
+		return nil, fail("format version %d is newer than this build supports (%d); upgrade osdiversity", version, FormatVersion)
+	}
+	if version != FormatVersion {
+		return nil, fail("unsupported format version %d", version)
+	}
+	count := int(binary.LittleEndian.Uint32(data[12:]))
+	if count > maxSections {
+		return nil, fail("implausible section count %d (max %d)", count, maxSections)
+	}
+	fileSize := binary.LittleEndian.Uint64(data[16:])
+	if fileSize != uint64(len(data)) {
+		return nil, fail("truncated: header declares %d bytes, file has %d", fileSize, len(data))
+	}
+	tableEnd := headerSize + count*secEntrySize
+	payloadStart := align8(tableEnd)
+	if payloadStart > len(data) {
+		return nil, fail("truncated: section table needs %d bytes, file has %d", payloadStart, len(data))
+	}
+	wantTableCRC := binary.LittleEndian.Uint32(data[24:])
+	if got := crc32.Checksum(data[headerSize:tableEnd], castagnoli); got != wantTableCRC {
+		return nil, fail("section table checksum mismatch: file says %08x, computed %08x", wantTableCRC, got)
+	}
+	wantDataCRC := binary.LittleEndian.Uint32(data[28:])
+	if got := crc32.Checksum(data[payloadStart:], castagnoli); got != wantDataCRC {
+		return nil, fail("payload checksum mismatch: file says %08x, computed %08x", wantDataCRC, got)
+	}
+
+	secs := make(map[uint32][]byte, count)
+	for i := 0; i < count; i++ {
+		e := data[headerSize+i*secEntrySize:]
+		id := binary.LittleEndian.Uint32(e)
+		off := binary.LittleEndian.Uint64(e[8:])
+		ln := binary.LittleEndian.Uint64(e[16:])
+		if sectionName(id) == "unknown" {
+			return nil, fail("unknown section id %d: file written by an incompatible tool", id)
+		}
+		if _, dup := secs[id]; dup {
+			return nil, fail("duplicate section %s", sectionName(id))
+		}
+		if off%8 != 0 {
+			return nil, fail("section %s offset %d not 8-byte aligned", sectionName(id), off)
+		}
+		if off < uint64(payloadStart) || off > uint64(len(data)) || ln > uint64(len(data))-off {
+			return nil, fail("section %s [%d, +%d) out of bounds (file is %d bytes)",
+				sectionName(id), off, ln, len(data))
+		}
+		secs[id] = data[off : off+ln : off+ln]
+	}
+	for _, id := range allSections {
+		if _, ok := secs[id]; !ok {
+			return nil, fail("missing section %s", sectionName(id))
+		}
+	}
+
+	snap := &Snapshot{Digest: fmt.Sprintf("crc32c:%08x", wantDataCRC)}
+	if err := json.Unmarshal(secs[secMeta], &snap.Meta); err != nil {
+		return nil, fail("meta document: %v", err)
+	}
+
+	c := &snap.Cols
+	var err error
+	dec := func(dst any, id uint32) {
+		if err != nil {
+			return
+		}
+		b := secs[id]
+		name := sectionName(id)
+		switch p := dst.(type) {
+		case *[]uint64:
+			*p, err = u64Section(b, name)
+		case *[]int64:
+			*p, err = i64Section(b, name)
+		case *[]int32:
+			*p, err = i32Section(b, name)
+		case *[]uint16:
+			*p, err = u16Section(b, name)
+		case *[]uint8:
+			*p = b
+		case *[]string:
+			*p, err = stringSection(b, name)
+		}
+	}
+	dec(&c.IDs, secIDs)
+	dec(&c.Years, secYears)
+	dec(&c.Flags, secFlags)
+	dec(&c.Products, secProducts)
+	dec(&c.Popcnt, secPopcnt)
+	dec(&c.Masks, secMasks)
+	dec(&c.RelOff, secRelOff)
+	dec(&c.RelRefs, secRelRefs)
+	dec(&c.RelVersions, secRelVersions)
+	dec(&c.InvFlags, secInvFlags)
+	dec(&c.InvMasks, secInvMasks)
+	dec(&c.DistroPost, secDistroPost)
+	dec(&c.ClassPost, secClassPost)
+	dec(&c.RemotePost, secRemotePost)
+	dec(&c.YearStart, secYearStart)
+	dec(&c.Multi, secMulti)
+	dec(&c.MultiFlags, secMultiFlags)
+	dec(&c.MultiPairOff, secMultiPairOff)
+	dec(&c.MultiPairs, secMultiPairs)
+	dec(&c.InvDistroPost, secInvDistroPost)
+	dec(&c.InvValidityPost, secInvValidityPost)
+	if err != nil {
+		return nil, err
+	}
+	c.NumDistros = snap.Meta.NumDistros
+	c.MaskWords = snap.Meta.MaskWords
+	c.Skipped = snap.Meta.SkippedEntries
+	c.MinYear, c.MaxYear = snap.Meta.MinYear, snap.Meta.MaxYear
+
+	if snap.Meta.ValidEntries != len(c.IDs) {
+		return nil, fail("meta declares %d valid entries, ids column has %d", snap.Meta.ValidEntries, len(c.IDs))
+	}
+	if snap.Meta.InvalidEntries != len(c.InvFlags) {
+		return nil, fail("meta declares %d invalid entries, invflags column has %d", snap.Meta.InvalidEntries, len(c.InvFlags))
+	}
+	if snap.Meta.NumDistros < 0 || snap.Meta.MaskWords < 0 || snap.Meta.SkippedEntries < 0 {
+		return nil, fail("meta declares negative counts")
+	}
+	return snap, nil
+}
+
+// nativeLE reports whether this host stores integers little-endian, the
+// precondition for the zero-copy reslicing path.
+var nativeLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// forceCopy disables zero-copy reslicing; tests flip it to cover the
+// portable decode path on any host.
+var forceCopy = false
+
+func sliceable(b []byte, align uintptr) bool {
+	return nativeLE && !forceCopy && uintptr(unsafe.Pointer(&b[0]))%align == 0
+}
+
+func u64Section(b []byte, name string) ([]uint64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("snapshot: section %s length %d not a multiple of 8", name, len(b))
+	}
+	n := len(b) / 8
+	if n == 0 {
+		return []uint64{}, nil
+	}
+	if sliceable(b, 8) {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out, nil
+}
+
+func i64Section(b []byte, name string) ([]int64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("snapshot: section %s length %d not a multiple of 8", name, len(b))
+	}
+	n := len(b) / 8
+	if n == 0 {
+		return []int64{}, nil
+	}
+	if sliceable(b, 8) {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}
+
+func i32Section(b []byte, name string) ([]int32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("snapshot: section %s length %d not a multiple of 4", name, len(b))
+	}
+	n := len(b) / 4
+	if n == 0 {
+		return []int32{}, nil
+	}
+	if sliceable(b, 4) {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, nil
+}
+
+func u16Section(b []byte, name string) ([]uint16, error) {
+	if len(b)%2 != 0 {
+		return nil, fmt.Errorf("snapshot: section %s length %d not a multiple of 2", name, len(b))
+	}
+	n := len(b) / 2
+	if n == 0 {
+		return []uint16{}, nil
+	}
+	if sliceable(b, 2) {
+		return unsafe.Slice((*uint16)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint16(b[i*2:])
+	}
+	return out, nil
+}
+
+// stringSection decodes the length-prefixed string table. Strings are
+// always copied (string headers cannot alias a file mapping safely
+// without pinning semantics).
+func stringSection(b []byte, name string) ([]string, error) {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("snapshot: section %s: "+format, append([]any{name}, args...)...)
+	}
+	if len(b) < 4 {
+		return nil, bad("%d bytes, need the 4-byte count", len(b))
+	}
+	count := binary.LittleEndian.Uint32(b)
+	if uint64(count) > uint64(len(b)) {
+		return nil, bad("implausible string count %d in %d bytes", count, len(b))
+	}
+	out := make([]string, 0, count)
+	off := 4
+	for i := uint32(0); i < count; i++ {
+		if len(b)-off < 4 {
+			return nil, bad("truncated at string %d", i)
+		}
+		ln := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if ln < 0 || len(b)-off < ln {
+			return nil, bad("string %d length %d exceeds section", i, ln)
+		}
+		out = append(out, string(b[off:off+ln]))
+		off += ln
+	}
+	return out, nil
+}

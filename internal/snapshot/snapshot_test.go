@@ -1,0 +1,251 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"osdiversity/internal/core"
+	"osdiversity/internal/corpus"
+	"osdiversity/internal/osmap"
+)
+
+// testColumns digests a small synthetic corpus and exports its columns.
+func testColumns(t testing.TB) *core.Columns {
+	t.Helper()
+	sc, err := corpus.GenerateSynthetic(corpus.SyntheticConfig{Entries: 500, Distros: 8, Seed: 7})
+	if err != nil {
+		t.Fatalf("GenerateSynthetic: %v", err)
+	}
+	s := core.NewStudy(sc.Entries, core.WithRegistry(sc.Registry))
+	return s.ExportColumns()
+}
+
+func testMeta() Meta {
+	return Meta{Universe: "synthetic:8", Source: "synthetic:8", SavedAtUnix: 1700000000, MalformedSkipped: 3}
+}
+
+func encodeTest(t testing.TB) []byte {
+	t.Helper()
+	buf, err := Encode(testColumns(t), testMeta())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf
+}
+
+// TestEncodeDecodeRoundTrip asserts a decoded image reproduces the
+// exported columns exactly, through both the zero-copy and the portable
+// copying decode paths.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cols := testColumns(t)
+	buf, err := Encode(cols, testMeta())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for _, copying := range []bool{false, true} {
+		forceCopy = copying
+		t.Cleanup(func() { forceCopy = false })
+		snap, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(forceCopy=%t): %v", copying, err)
+		}
+		if !reflect.DeepEqual(&snap.Cols, cols) {
+			t.Errorf("forceCopy=%t: decoded columns differ from exported", copying)
+		}
+		if snap.Meta.MalformedSkipped != 3 || snap.Meta.Universe != "synthetic:8" {
+			t.Errorf("meta did not round-trip: %+v", snap.Meta)
+		}
+		if snap.Meta.ValidEntries != len(cols.IDs) || snap.Meta.SkippedEntries != cols.Skipped {
+			t.Errorf("meta counts %d/%d disagree with columns %d/%d",
+				snap.Meta.ValidEntries, snap.Meta.SkippedEntries, len(cols.IDs), cols.Skipped)
+		}
+		if !strings.HasPrefix(snap.Digest, "crc32c:") {
+			t.Errorf("digest = %q, want crc32c-prefixed", snap.Digest)
+		}
+	}
+}
+
+// TestSaveOpen exercises the file path: atomic save, mmap (or fallback)
+// open, close.
+func TestSaveOpen(t *testing.T) {
+	cols := testColumns(t)
+	path := filepath.Join(t.TempDir(), "study.osds")
+	if err := Save(path, cols, testMeta()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+	snap, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !reflect.DeepEqual(&snap.Cols, cols) {
+		t.Error("opened columns differ from exported")
+	}
+	if err := snap.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := snap.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// reCRC recomputes both header checksums after a test mutation, so a
+// corruption case exercises its intended validation step rather than
+// tripping the checksum first.
+func reCRC(buf []byte) {
+	count := int(binary.LittleEndian.Uint32(buf[12:]))
+	tableEnd := headerSize + count*secEntrySize
+	binary.LittleEndian.PutUint32(buf[24:], crc32.Checksum(buf[headerSize:tableEnd], castagnoli))
+	binary.LittleEndian.PutUint32(buf[28:], crc32.Checksum(buf[align8(tableEnd):], castagnoli))
+}
+
+// TestDecodeCorruption is the fail-fast table: every corruption class
+// must produce a clear error, never a panic.
+func TestDecodeCorruption(t *testing.T) {
+	pristine := encodeTest(t)
+	cases := []struct {
+		name    string
+		corrupt func(b []byte) []byte
+		want    string
+	}{
+		{"empty file", func(b []byte) []byte { return nil }, "truncated"},
+		{"truncated header", func(b []byte) []byte { return b[:headerSize-1] }, "truncated"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-9] }, "truncated"},
+		{"bad magic", func(b []byte) []byte {
+			copy(b, "NOTASNAP")
+			return b
+		}, "not an osdiversity snapshot"},
+		{"future version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], FormatVersion+1)
+			return b
+		}, "newer than this build"},
+		{"version zero", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], 0)
+			return b
+		}, "unsupported format version"},
+		{"implausible section count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:], maxSections+1)
+			return b
+		}, "implausible section count"},
+		{"table checksum mismatch", func(b []byte) []byte {
+			b[headerSize] ^= 0xFF
+			return b
+		}, "section table checksum mismatch"},
+		{"payload bit flip", func(b []byte) []byte {
+			b[len(b)-1] ^= 0x01
+			return b
+		}, "payload checksum mismatch"},
+		{"unknown section id", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[headerSize:], 99)
+			reCRC(b)
+			return b
+		}, "unknown section id 99"},
+		{"duplicate section", func(b []byte) []byte {
+			// Overwrite the second table entry's id with the first's.
+			id := binary.LittleEndian.Uint32(b[headerSize:])
+			binary.LittleEndian.PutUint32(b[headerSize+secEntrySize:], id)
+			reCRC(b)
+			return b
+		}, "duplicate section"},
+		{"section out of bounds", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[headerSize+8:], uint64(len(b)))
+			binary.LittleEndian.PutUint64(b[headerSize+16:], 64)
+			reCRC(b)
+			return b
+		}, "out of bounds"},
+		{"misaligned section", func(b []byte) []byte {
+			off := binary.LittleEndian.Uint64(b[headerSize+8:])
+			binary.LittleEndian.PutUint64(b[headerSize+8:], off+4)
+			reCRC(b)
+			return b
+		}, "not 8-byte aligned"},
+		{"garbage meta", func(b []byte) []byte {
+			// The meta section is the first payload; stomp its JSON.
+			off := binary.LittleEndian.Uint64(b[headerSize+8:])
+			b[off] = '{'
+			b[off+1] = 'x'
+			reCRC(b)
+			return b
+		}, "meta document"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := tc.corrupt(append([]byte(nil), pristine...))
+			snap, err := Decode(buf)
+			if err == nil {
+				t.Fatalf("Decode accepted corrupted image (%+v)", snap.Meta)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			if !strings.HasPrefix(err.Error(), "snapshot: ") {
+				t.Errorf("error %q not snapshot-prefixed", err)
+			}
+		})
+	}
+}
+
+// TestDecodeSizeMismatch covers the declared-size fast path with an
+// appended tail (the file-size check catches growth as well as
+// truncation).
+func TestDecodeSizeMismatch(t *testing.T) {
+	buf := append(encodeTest(t), 0, 0, 0, 0, 0, 0, 0, 0)
+	if _, err := Decode(buf); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("Decode of oversized image: %v", err)
+	}
+}
+
+// TestOpenMissing asserts a clean error for a nonexistent path.
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "absent.osds")); err == nil {
+		t.Error("Open of missing file succeeded")
+	}
+}
+
+// FuzzSnapshotDecode throws mutated headers and section tables at
+// Decode; any input may be rejected, none may panic. The corpus seeds a
+// pristine image so mutations explore the validation space from a valid
+// starting point.
+func FuzzSnapshotDecode(f *testing.F) {
+	pristine := encodeTest(f)
+	f.Add(pristine)
+	f.Add(pristine[:headerSize])
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "snapshot: ") {
+				t.Errorf("error %q not snapshot-prefixed", err)
+			}
+			return
+		}
+		// Accepted images must also pass the deep structural validation
+		// without panicking (FromColumns bounds-checks every index).
+		if reg := registryForTest(snap.Meta.Universe); reg != nil {
+			_, _ = core.FromColumns(&snap.Cols, core.WithRegistry(reg))
+		}
+	})
+}
+
+// registryForTest mirrors the facade's universe reconstruction for the
+// fuzz harness, which cannot import the root package (cycle).
+func registryForTest(uni string) *osmap.Registry {
+	if uni == "paper" {
+		return osmap.NewRegistry()
+	}
+	if rest, ok := strings.CutPrefix(uni, "synthetic:"); ok {
+		if n, err := strconv.Atoi(rest); err == nil && n >= 2 && n <= 1024 {
+			return osmap.NewSyntheticRegistry(n)
+		}
+	}
+	return nil
+}

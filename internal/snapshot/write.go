@@ -1,0 +1,154 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"osdiversity/internal/core"
+)
+
+// castagnoli is the CRC-32C table both checksums use; hardware-
+// accelerated by hash/crc32 on amd64/arm64, so verifying a multi-MB
+// snapshot costs single-digit milliseconds of the warm-start budget.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode renders the columns and provenance into one snapshot image.
+// The shape fields of meta are overwritten from the columns, so writer
+// and payload can never disagree.
+func Encode(cols *core.Columns, meta Meta) ([]byte, error) {
+	meta.Tool = "osdiversity"
+	meta.ValidEntries = len(cols.IDs)
+	meta.InvalidEntries = len(cols.InvFlags)
+	meta.SkippedEntries = cols.Skipped
+	meta.NumDistros = cols.NumDistros
+	meta.MaskWords = cols.MaskWords
+	meta.MinYear, meta.MaxYear = cols.MinYear, cols.MaxYear
+	mb, err := meta.marshal()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: encode meta: %w", err)
+	}
+
+	payloads := map[uint32][]byte{
+		secMeta:            mb,
+		secIDs:             u64Bytes(cols.IDs),
+		secYears:           i32Bytes(cols.Years),
+		secFlags:           cols.Flags,
+		secProducts:        u16Bytes(cols.Products),
+		secPopcnt:          u16Bytes(cols.Popcnt),
+		secMasks:           u64Bytes(cols.Masks),
+		secRelOff:          i32Bytes(cols.RelOff),
+		secRelRefs:         u64Bytes(cols.RelRefs),
+		secRelVersions:     stringBytes(cols.RelVersions),
+		secInvFlags:        cols.InvFlags,
+		secInvMasks:        u64Bytes(cols.InvMasks),
+		secDistroPost:      u64Bytes(cols.DistroPost),
+		secClassPost:       u64Bytes(cols.ClassPost),
+		secRemotePost:      u64Bytes(cols.RemotePost),
+		secYearStart:       i64Bytes(cols.YearStart),
+		secMulti:           i32Bytes(cols.Multi),
+		secMultiFlags:      cols.MultiFlags,
+		secMultiPairOff:    i32Bytes(cols.MultiPairOff),
+		secMultiPairs:      i32Bytes(cols.MultiPairs),
+		secInvDistroPost:   u64Bytes(cols.InvDistroPost),
+		secInvValidityPost: u64Bytes(cols.InvValidityPost),
+	}
+
+	count := len(allSections)
+	payloadStart := align8(headerSize + count*secEntrySize)
+	size := payloadStart
+	offsets := make(map[uint32]int, count)
+	for _, id := range allSections {
+		offsets[id] = size
+		size += align8(len(payloads[id]))
+	}
+
+	buf := make([]byte, size)
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[8:], FormatVersion)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(count))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(size))
+	for i, id := range allSections {
+		e := buf[headerSize+i*secEntrySize:]
+		binary.LittleEndian.PutUint32(e, id)
+		binary.LittleEndian.PutUint64(e[8:], uint64(offsets[id]))
+		binary.LittleEndian.PutUint64(e[16:], uint64(len(payloads[id])))
+		copy(buf[offsets[id]:], payloads[id])
+	}
+	binary.LittleEndian.PutUint32(buf[24:],
+		crc32.Checksum(buf[headerSize:headerSize+count*secEntrySize], castagnoli))
+	binary.LittleEndian.PutUint32(buf[28:],
+		crc32.Checksum(buf[payloadStart:], castagnoli))
+	return buf, nil
+}
+
+// Save atomically writes the snapshot: the image lands in path+".tmp"
+// and is renamed into place, so a crashed writer never leaves a partial
+// file under the final name.
+func Save(path string, cols *core.Columns, meta Meta) error {
+	buf, err := Encode(cols, meta)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("snapshot: write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: rename into place: %w", err)
+	}
+	return nil
+}
+
+func u64Bytes(v []uint64) []byte {
+	b := make([]byte, len(v)*8)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[i*8:], x)
+	}
+	return b
+}
+
+func i64Bytes(v []int64) []byte {
+	b := make([]byte, len(v)*8)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[i*8:], uint64(x))
+	}
+	return b
+}
+
+func i32Bytes(v []int32) []byte {
+	b := make([]byte, len(v)*4)
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(x))
+	}
+	return b
+}
+
+func u16Bytes(v []uint16) []byte {
+	b := make([]byte, len(v)*2)
+	for i, x := range v {
+		binary.LittleEndian.PutUint16(b[i*2:], x)
+	}
+	return b
+}
+
+// stringBytes renders a string table: u32 count, then u32 length +
+// bytes per entry (byte-granular inside the section).
+func stringBytes(v []string) []byte {
+	size := 4
+	for _, s := range v {
+		size += 4 + len(s)
+	}
+	b := make([]byte, size)
+	binary.LittleEndian.PutUint32(b, uint32(len(v)))
+	off := 4
+	for _, s := range v {
+		binary.LittleEndian.PutUint32(b[off:], uint32(len(s)))
+		off += 4
+		copy(b[off:], s)
+		off += len(s)
+	}
+	return b
+}

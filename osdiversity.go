@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"osdiversity/internal/attack"
 	"osdiversity/internal/classify"
@@ -33,6 +34,7 @@ import (
 	"osdiversity/internal/cve"
 	"osdiversity/internal/nvdfeed"
 	"osdiversity/internal/osmap"
+	"osdiversity/internal/snapshot"
 	"osdiversity/internal/vulndb"
 )
 
@@ -45,6 +47,7 @@ type config struct {
 	universe  int // > 0 selects a synthetic n-distro universe for LoadFeeds
 	lenient   bool
 	feedStats *FeedStats
+	snapshot  string // != "" tees a snapshot of the loaded study to this path
 }
 
 // WithParallelism sets the worker count used throughout the pipeline:
@@ -213,6 +216,18 @@ func writeFeedsByYear(dir string, entries []*cve.Entry, workers int) ([]string, 
 // Analysis answers the paper's questions over one ingested data set.
 type Analysis struct {
 	study *core.Study
+
+	// Provenance for /corpus and the -json printers: where the corpus
+	// came from, when it was built (or snapshotted), and the snapshot
+	// digest when warm-started from one. See snapshot.go.
+	source           string
+	epoch            time.Time
+	snapshotDigest   string
+	malformedSkipped int
+
+	// snap keeps the mmap'd snapshot alive while its columns back the
+	// study; nil for feed-built analyses.
+	snap *snapshot.Snapshot
 }
 
 // LoadFeeds parses NVD XML feed files (plain or .gz) and builds the
@@ -228,7 +243,7 @@ func LoadFeeds(paths []string, opts ...Option) (*Analysis, error) {
 		return nil, err
 	}
 	cfg.noteSkips(skips)
-	return &Analysis{study: core.NewStudy(entries, cfg.studyOptions()...)}, nil
+	return cfg.finishAnalysis(core.NewStudy(entries, cfg.studyOptions()...), "feeds", skips.Skipped())
 }
 
 // streamBatch is how many decoded entries StreamFeeds hands to the
@@ -261,7 +276,7 @@ func StreamFeeds(paths []string, opts ...Option) (*Analysis, error) {
 	}
 	b.Add(batch...)
 	cfg.noteSkips(skips)
-	return &Analysis{study: b.Finish()}, nil
+	return cfg.finishAnalysis(b.Finish(), "feeds", skips.Skipped())
 }
 
 // LoadCalibrated builds the analysis directly over the calibrated
@@ -272,7 +287,7 @@ func LoadCalibrated(opts ...Option) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{study: core.NewStudy(c.Entries, cfg.studyOptions()...)}, nil
+	return cfg.finishAnalysis(core.NewStudy(c.Entries, cfg.studyOptions()...), "calibrated", 0)
 }
 
 // SyntheticSpec parameterizes the synthetic "modern NVD" corpus: a
@@ -308,7 +323,8 @@ func LoadSynthetic(spec SyntheticSpec, opts ...Option) (*Analysis, error) {
 		return nil, err
 	}
 	studyOpts := append(cfg.studyOptions(), core.WithRegistry(sc.Registry))
-	return &Analysis{study: core.NewStudy(sc.Entries, studyOpts...)}, nil
+	st := core.NewStudy(sc.Entries, studyOpts...)
+	return cfg.finishAnalysis(st, fmt.Sprintf("synthetic:%d", len(st.Distros())), 0)
 }
 
 // GenerateSyntheticFeeds writes the synthetic corpus as per-year NVD 2.0
@@ -346,6 +362,12 @@ func ImportFeeds(dbPath string, feedPaths []string, opts ...Option) (int, int, e
 	if err := db.Save(dbPath); err != nil {
 		return stored, skipped, err
 	}
+	if cfg.snapshot != "" {
+		st := core.NewStudy(entries, cfg.studyOptions()...)
+		if _, err := cfg.finishAnalysis(st, "feeds", skips.Skipped()); err != nil {
+			return stored, skipped, err
+		}
+	}
 	return stored, skipped, nil
 }
 
@@ -364,16 +386,59 @@ func ImportFeedsStream(dbPath string, feedPaths []string, opts ...Option) (int, 
 	skips := &nvdfeed.SkipStats{}
 	st := nvdfeed.StreamFiles(feedPaths, cfg.readerOptions(skips)...)
 	defer st.Close()
-	stored, skipped, err := db.LoadEntriesStream(st.Entries(), classify.NewClassifier(), cfg.workers)
+
+	// With a snapshot requested, the entry stream tees through the
+	// incremental Study builder on its way to the store — one pass over
+	// the feeds feeds both sinks, still in streamBatch chunks.
+	src := st.Entries()
+	var b *core.Builder
+	var tee sync.WaitGroup
+	if cfg.snapshot != "" {
+		b = core.NewBuilder(cfg.studyOptions()...)
+		in := src // the goroutine must not see the src = teed reassignment below
+		teed := make(chan *cve.Entry, streamBatch)
+		tee.Add(1)
+		go func() {
+			defer tee.Done()
+			defer close(teed)
+			batch := make([]*cve.Entry, 0, streamBatch)
+			for e := range in {
+				teed <- e
+				batch = append(batch, e)
+				if len(batch) == streamBatch {
+					b.Add(batch...)
+					batch = batch[:0]
+				}
+			}
+			b.Add(batch...)
+		}()
+		src = teed
+	}
+
+	stored, skipped, err := db.LoadEntriesStream(src, classify.NewClassifier(), cfg.workers)
 	if err != nil {
+		if cfg.snapshot != "" {
+			// Unblock the tee goroutine; st.Close (deferred) stops the
+			// producers, so the drain terminates.
+			go func() {
+				for range src {
+				}
+			}()
+		}
 		return stored, skipped, err
 	}
+	tee.Wait()
 	if err := st.Err(); err != nil {
 		return stored, skipped, err
 	}
 	cfg.noteSkips(skips)
 	if err := db.Save(dbPath); err != nil {
 		return stored, skipped, err
+	}
+	if cfg.snapshot != "" {
+		if _, err := cfg.finishAnalysis(b.Finish(), "feeds", skips.Skipped()); err != nil {
+			return stored, skipped, err
+		}
 	}
 	return stored, skipped, nil
 }
@@ -420,7 +485,7 @@ func LoadDatabase(dbPath string, opts ...Option) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{study: core.NewStudy(entries, cfg.studyOptions()...)}, nil
+	return cfg.finishAnalysis(core.NewStudy(entries, cfg.studyOptions()...), "db", 0)
 }
 
 // OSNames returns the distribution names of this analysis's universe in
