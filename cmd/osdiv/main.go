@@ -17,7 +17,14 @@
 //	sqltable3 print the Table III matrix computed by the SQL engine
 //	          (requires -db; one grouped hash-join plan, no Study)
 //	serve     stay resident and answer every query over HTTP/JSON
-//	          (-addr, -max-inflight; drains gracefully on SIGTERM)
+//	          (-addr, -max-inflight, -max-queue-wait; drains gracefully
+//	          on SIGTERM). The corpus loads in the background — /readyz
+//	          answers 503 until it is resident. With `-watch dir` the
+//	          server hot-reloads delta feeds from dir on SIGHUP, POST
+//	          /admin/reload, or a directory poll (-watch-interval),
+//	          swapping epochs atomically and degrading to the previous
+//	          epoch when a reload fails; `-tee file` snapshots each
+//	          reloaded epoch for the next warm start.
 //
 // `tables -json` prints the httpapi wire documents instead of ASCII
 // tables — the corpus provenance document first, then tables 1-6;
@@ -74,6 +81,17 @@ func main() {
 		db: *db, feeds: *feeds, workers: *workers, engine: *engine, stream: *stream,
 		synthetic: *synthetic, distros: *distros, seed: *seed, snapshot: *snapPath,
 	}
+
+	// serve loads its corpus asynchronously so the listener (and the
+	// /healthz + /readyz probes) come up immediately; every other
+	// subcommand needs the analysis resident before it can start.
+	if flag.Arg(0) == "serve" {
+		if err := runServe(cfg, flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	a, err := loadAnalysis(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -93,8 +111,6 @@ func main() {
 		err = runReleases(a)
 	case "simulate":
 		err = runSimulate(a, args)
-	case "serve":
-		err = runServe(a, cfg, args)
 	default:
 		usage()
 	}
@@ -256,7 +272,10 @@ func runTablesJSON(a *osdiversity.Analysis, cfg loadConfig, which int) error {
 	if engine == "" {
 		engine = "bitset"
 	}
-	corpus := server.BuildCorpus(a, sourceName(cfg), engine, a.Parallelism(), cfg.db != "")
+	// A one-shot CLI render is always generation 1 with no reload
+	// history, exactly like a freshly booted server.
+	corpus := server.BuildCorpus(a, sourceName(cfg), engine, a.Parallelism(), cfg.db != "",
+		server.EpochStatus{Epoch: 1})
 	b, err := httpapi.Marshal(corpus)
 	if err != nil {
 		return err

@@ -206,6 +206,10 @@ func TestParseServeFlags(t *testing.T) {
 		if opts.addr != "127.0.0.1:8080" || opts.maxInFlight != 0 || opts.drainTimeout != 10*time.Second {
 			t.Errorf("defaults = %+v", opts)
 		}
+		if opts.watch != "" || opts.watchInterval != 10*time.Second ||
+			opts.tee != "" || opts.maxQueueWait != 5*time.Second {
+			t.Errorf("reload defaults = %+v", opts)
+		}
 	})
 	t.Run("custom", func(t *testing.T) {
 		opts, err := parseServeFlags([]string{"-addr", ":9090", "-max-inflight", "7", "-drain", "3s"})
@@ -216,6 +220,19 @@ func TestParseServeFlags(t *testing.T) {
 			t.Errorf("custom = %+v", opts)
 		}
 	})
+	t.Run("reload flags", func(t *testing.T) {
+		opts, err := parseServeFlags([]string{
+			"-watch", "deltas", "-watch-interval", "250ms",
+			"-tee", "warm.osds", "-max-queue-wait", "2s",
+		})
+		if err != nil {
+			t.Fatalf("parseServeFlags: %v", err)
+		}
+		if opts.watch != "deltas" || opts.watchInterval != 250*time.Millisecond ||
+			opts.tee != "warm.osds" || opts.maxQueueWait != 2*time.Second {
+			t.Errorf("reload flags = %+v", opts)
+		}
+	})
 	for _, tt := range []struct {
 		name string
 		args []string
@@ -224,6 +241,9 @@ func TestParseServeFlags(t *testing.T) {
 		{"trailing argument", []string{"extra"}},
 		{"negative max-inflight", []string{"-max-inflight", "-3"}},
 		{"empty addr", []string{"-addr", ""}},
+		{"negative watch interval", []string{"-watch", "d", "-watch-interval", "-1s"}},
+		{"non-positive queue wait", []string{"-max-queue-wait", "0s"}},
+		{"tee without watch", []string{"-tee", "warm.osds"}},
 	} {
 		t.Run(tt.name, func(t *testing.T) {
 			if _, err := parseServeFlags(tt.args); err == nil {
@@ -372,6 +392,9 @@ func TestServeSmoke(t *testing.T) {
 		t.Errorf("healthz = %d %q", resp.StatusCode, body)
 	}
 
+	// The corpus loads asynchronously; queries gate on readiness.
+	waitReady(t, base)
+
 	resp, err = http.Get(base + "/api/table5?split=abc")
 	if err != nil {
 		t.Fatalf("GET bad table5: %v", err)
@@ -394,6 +417,217 @@ func TestServeSmoke(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("serve did not drain within 15s of SIGTERM")
+	}
+}
+
+// waitReady polls /readyz until the boot corpus is resident.
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server did not become ready within 60s")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// startServe boots the real `osdiv serve` through main() and returns
+// its base URL once the listener is up.
+func startServe(t *testing.T, osdivArgs ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestMain")
+	cmd.Env = append(os.Environ(),
+		"GO_OSDIV_MAIN=1",
+		"GO_OSDIV_ARGS="+strings.Join(osdivArgs, "\x1f"))
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatalf("stderr pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start serve: %v", err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+
+	var addr string
+	var logged bytes.Buffer
+	sc := bufio.NewScanner(stderrPipe)
+	for sc.Scan() {
+		line := sc.Text()
+		logged.WriteString(line + "\n")
+		if m := serveAddrRe.FindStringSubmatch(line); m != nil {
+			addr = m[1]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listen address in serve output:\n%s", logged.String())
+	}
+	go io.Copy(io.Discard, stderrPipe)
+	return cmd, "http://" + addr
+}
+
+// TestServeReloadSmoke drives the live-epoch machinery through the real
+// process: boot over feeds with a held-out delta, prove /admin/reload
+// reports no_delta on an empty watch dir, hot-swap epoch 2 via SIGHUP
+// once the delta lands, then feed a corrupt delta and assert the server
+// degrades — old epoch still answering byte-identical tables, failure
+// counted on /corpus — before draining cleanly on SIGTERM.
+func TestServeReloadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the corpus and binds a socket")
+	}
+	dir := t.TempDir()
+	feeds, err := osdiversity.GenerateFeeds(filepath.Join(dir, "feeds"))
+	if err != nil {
+		t.Fatalf("GenerateFeeds: %v", err)
+	}
+	if len(feeds) < 2 {
+		t.Fatalf("calibrated corpus spans only %d feed files", len(feeds))
+	}
+	// Hold the newest feed year out of the boot corpus: it becomes the
+	// delta a reload applies.
+	watchDir := filepath.Join(dir, "delta")
+	if err := os.MkdirAll(watchDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	heldOut := feeds[len(feeds)-1]
+	parked := filepath.Join(dir, filepath.Base(heldOut))
+	if err := os.Rename(heldOut, parked); err != nil {
+		t.Fatalf("hold out delta feed: %v", err)
+	}
+
+	cmd, base := startServe(t,
+		"-feeds", filepath.Join(dir, "feeds"), "-workers", "2",
+		"serve", "-addr", "127.0.0.1:0", "-watch", watchDir, "-watch-interval", "0")
+	waitReady(t, base)
+
+	getJSON := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if status, body := getJSON("/corpus"); status != 200 || !strings.Contains(body, `"epoch":1`) {
+		t.Fatalf("/corpus at boot = %d %s", status, body)
+	}
+	_, bootT3 := getJSON("/api/table3")
+
+	// Empty watch dir: the admin trigger answers the typed 409.
+	resp, err := http.Post(base+"/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST /admin/reload: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || !strings.Contains(string(body), `"no_delta"`) {
+		t.Fatalf("reload with empty watch dir = %d %q, want 409 no_delta", resp.StatusCode, body)
+	}
+
+	// Land the delta and reload via the operator path: SIGHUP.
+	if err := os.Rename(parked, filepath.Join(watchDir, filepath.Base(parked))); err != nil {
+		t.Fatalf("land delta feed: %v", err)
+	}
+	if err := cmd.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatalf("SIGHUP: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, body := getJSON("/corpus"); strings.Contains(body, `"epoch":2`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, body := getJSON("/corpus")
+			t.Fatalf("no epoch 2 within 60s of SIGHUP; /corpus: %s", body)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	_, reloadedT3 := getJSON("/api/table3")
+	if reloadedT3 == bootT3 {
+		t.Error("table3 unchanged after applying the held-out delta year")
+	}
+
+	// Corrupt delta: the admin trigger fails, the epoch does not move,
+	// and the query plane keeps answering the reloaded corpus.
+	if err := os.WriteFile(filepath.Join(watchDir, "zz-corrupt.xml.gz"),
+		[]byte("not gzip at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST /admin/reload (corrupt): %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError || !strings.Contains(string(body), `"reload_failed"`) {
+		t.Fatalf("corrupt reload = %d %q, want 500 reload_failed", resp.StatusCode, body)
+	}
+	status, corpus := getJSON("/corpus")
+	if status != 200 || !strings.Contains(corpus, `"epoch":2`) ||
+		!strings.Contains(corpus, `"reload_failures":1`) {
+		t.Fatalf("/corpus after corrupt reload = %d %s", status, corpus)
+	}
+	if status, body := getJSON("/api/table3"); status != 200 || body != reloadedT3 {
+		t.Fatalf("table3 degraded after failed reload: status %d stable=%v", status, body == reloadedT3)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not drain within 15s of SIGTERM")
+	}
+}
+
+// TestWatchFingerprint pins the poller's change detector: stable across
+// no-ops, sensitive to added feed files, blind to non-feed noise.
+func TestWatchFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	fp0, err := watchFingerprint(dir)
+	if err != nil || fp0 != "" {
+		t.Fatalf("empty dir fingerprint = %q, %v", fp0, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.xml.gz"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := watchFingerprint(dir)
+	if err != nil || fp1 == "" {
+		t.Fatalf("fingerprint after add = %q, %v", fp1, err)
+	}
+	fp2, _ := watchFingerprint(dir)
+	if fp1 != fp2 {
+		t.Error("fingerprint unstable across identical scans")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if fp3, _ := watchFingerprint(dir); fp3 != fp1 {
+		t.Error("non-feed file changed the fingerprint")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b.xml"), []byte("z"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if fp4, _ := watchFingerprint(dir); fp4 == fp1 {
+		t.Error("second feed file did not change the fingerprint")
 	}
 }
 

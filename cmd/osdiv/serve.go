@@ -11,18 +11,27 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"osdiversity"
+	"osdiversity/internal/epoch"
 	"osdiversity/internal/server"
 )
 
 // serveOptions are the flags of the serve subcommand.
 type serveOptions struct {
-	addr         string
-	maxInFlight  int
-	drainTimeout time.Duration
+	addr          string
+	maxInFlight   int
+	drainTimeout  time.Duration
+	watch         string
+	watchInterval time.Duration
+	tee           string
+	maxQueueWait  time.Duration
 }
 
 // parseServeFlags parses the serve subcommand's flags. Errors come back
@@ -42,6 +51,14 @@ func parseServeFlags(args []string) (serveOptions, error) {
 		"bound on concurrently executing query computations (0 = worker count)")
 	fs.DurationVar(&opts.drainTimeout, "drain", 10*time.Second,
 		"graceful shutdown deadline after SIGTERM/SIGINT")
+	fs.StringVar(&opts.watch, "watch", "",
+		"delta feed directory: its *.xml* files hot-reload the corpus on SIGHUP, POST /admin/reload, or the poll below")
+	fs.DurationVar(&opts.watchInterval, "watch-interval", 10*time.Second,
+		"poll period for -watch directory changes (0 disables polling; SIGHUP and /admin/reload still work)")
+	fs.StringVar(&opts.tee, "tee", "",
+		"tee every successfully reloaded epoch to this snapshot file (default: the -snapshot boot path, if any)")
+	fs.DurationVar(&opts.maxQueueWait, "max-queue-wait", 5*time.Second,
+		"how long a query may wait for a compute slot before 503 + Retry-After")
 	if err := fs.Parse(args); err != nil {
 		return serveOptions{}, fmt.Errorf("serve: %w", err)
 	}
@@ -53,6 +70,15 @@ func parseServeFlags(args []string) (serveOptions, error) {
 	}
 	if opts.maxInFlight < 0 {
 		return serveOptions{}, fmt.Errorf("serve: -max-inflight %d must be >= 0", opts.maxInFlight)
+	}
+	if opts.watchInterval < 0 {
+		return serveOptions{}, fmt.Errorf("serve: -watch-interval %s must be >= 0", opts.watchInterval)
+	}
+	if opts.maxQueueWait <= 0 {
+		return serveOptions{}, fmt.Errorf("serve: -max-queue-wait %s must be > 0", opts.maxQueueWait)
+	}
+	if opts.tee != "" && opts.watch == "" {
+		return serveOptions{}, errors.New("serve: -tee needs -watch (it snapshots reloaded epochs)")
 	}
 	return opts, nil
 }
@@ -73,9 +99,47 @@ func sourceName(cfg loadConfig) string {
 	}
 }
 
-// runServe starts the resident query server over the loaded analysis
-// and blocks until SIGTERM/SIGINT, then drains in-flight requests.
-func runServe(a *osdiversity.Analysis, cfg loadConfig, args []string) error {
+// globDeltaFeeds lists the reloadable feed files under the watch
+// directory, sorted for a deterministic apply order.
+func globDeltaFeeds(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.xml*"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
+// watchFingerprint summarizes the watch directory's reloadable content
+// (name, size, mtime per feed file) so the poller only triggers builds
+// when something actually changed. Computed before a reload starts and
+// remembered only after it succeeds: a failed reload stays "dirty" and
+// is retried — with a fresh failure count on /corpus — every tick.
+func watchFingerprint(dir string) (string, error) {
+	paths, err := globDeltaFeeds(dir)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			// A feed vanishing mid-scan (partial rsync) reads as a
+			// different fingerprint next tick; skip it for now.
+			continue
+		}
+		fmt.Fprintf(&b, "%s|%d|%d\n", p, st.Size(), st.ModTime().UnixNano())
+	}
+	return b.String(), nil
+}
+
+// runServe starts the resident query server, loading the boot corpus in
+// the background (the listener and /healthz come up immediately;
+// /readyz flips once the corpus is resident). With -watch it hot-
+// reloads delta feeds on SIGHUP, POST /admin/reload, and a directory
+// poll, degrading to the previous epoch on any failure. Blocks until
+// SIGTERM/SIGINT, then drains in-flight requests.
+func runServe(cfg loadConfig, args []string) error {
 	opts, err := parseServeFlags(args)
 	if errors.Is(err, flag.ErrHelp) {
 		return nil // usage already printed
@@ -87,13 +151,52 @@ func runServe(a *osdiversity.Analysis, cfg loadConfig, args []string) error {
 	if engine == "" {
 		engine = "bitset"
 	}
-	srv := server.New(a, server.Config{
-		Source:      sourceName(cfg),
-		Engine:      engine,
-		Workers:     a.Parallelism(),
-		DBPath:      cfg.db,
-		MaxInFlight: opts.maxInFlight,
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0) // mirrors WithParallelism(0)
+	}
+	teePath := opts.tee
+	if teePath == "" {
+		// Booting from a snapshot and reloading deltas over it would
+		// leave the file stale; keep it current by default.
+		teePath = cfg.snapshot
+	}
+
+	mgr := epoch.NewManager(epoch.Config{Logf: log.Printf})
+	srv := server.NewResident(mgr, server.Config{
+		Source:       sourceName(cfg),
+		Engine:       engine,
+		Workers:      workers,
+		DBPath:       cfg.db,
+		MaxInFlight:  opts.maxInFlight,
+		MaxQueueWait: opts.maxQueueWait,
 	})
+
+	// reloadOnce is the single trigger all three reload paths share:
+	// glob the watch directory, then stream its feeds through ApplyDelta
+	// against whatever epoch is current, teeing the merged snapshot when
+	// configured. An empty directory is not a failure — there is simply
+	// nothing to do yet.
+	reloadOnce := func() (*epoch.Epoch, error) {
+		deltas, err := globDeltaFeeds(opts.watch)
+		if err != nil {
+			return nil, err
+		}
+		if len(deltas) == 0 {
+			return nil, epoch.ErrNoDelta
+		}
+		return mgr.TryReload("delta:"+opts.watch, func(cur *osdiversity.Analysis) (*osdiversity.Analysis, error) {
+			dopts := []osdiversity.Option{}
+			if teePath != "" {
+				dopts = append(dopts, osdiversity.WithSnapshot(teePath))
+			}
+			return cur.ApplyDelta(deltas, dopts...)
+		})
+	}
+	if opts.watch != "" {
+		srv.SetReloader(reloadOnce)
+	}
+
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
@@ -112,13 +215,80 @@ func runServe(a *osdiversity.Analysis, cfg loadConfig, args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Boot corpus loads off the serving path: probes answer immediately,
+	// queries answer 503 not_ready until the first epoch installs.
+	bootc := make(chan error, 1)
+	go func() {
+		a, err := loadAnalysis(cfg)
+		if err != nil {
+			bootc <- fmt.Errorf("boot load: %w", err)
+			return
+		}
+		ep := mgr.Install(a, sourceName(cfg))
+		log.Printf("corpus resident: epoch=%d source=%s valid=%d", ep.Seq, ep.Source, a.ValidCount())
+	}()
+
+	if opts.watch != "" {
+		// SIGHUP: the operator's reload trigger.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					signal.Stop(hup)
+					return
+				case <-hup:
+					if _, err := reloadOnce(); err != nil {
+						log.Printf("SIGHUP reload: %v", err)
+					}
+				}
+			}
+		}()
+
+		// Directory poll: pick up delta feeds without operator action.
+		if opts.watchInterval > 0 {
+			go func() {
+				tick := time.NewTicker(opts.watchInterval)
+				defer tick.Stop()
+				var applied string
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-tick.C:
+					}
+					fp, err := watchFingerprint(opts.watch)
+					if err != nil {
+						log.Printf("watch %s: %v", opts.watch, err)
+						continue
+					}
+					if fp == applied || fp == "" {
+						continue
+					}
+					switch _, err := reloadOnce(); {
+					case err == nil:
+						applied = fp
+					case errors.Is(err, epoch.ErrReloadInProgress):
+						// Another trigger is mid-reload; re-evaluate next tick.
+					default:
+						log.Printf("watch reload: %v", err)
+					}
+				}
+			}()
+		}
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	log.Printf("serving %s on http://%s (workers=%d engine=%s)",
-		sourceName(cfg), ln.Addr(), a.Parallelism(), engine)
+	log.Printf("serving %s on http://%s (workers=%d engine=%s watch=%q)",
+		sourceName(cfg), ln.Addr(), workers, engine, opts.watch)
 
 	select {
 	case err := <-errc:
+		return err
+	case err := <-bootc: // only ever carries a failed boot
+		hs.Close()
 		return err
 	case <-ctx.Done():
 	}

@@ -20,20 +20,43 @@ type Health struct {
 // when the corpus was built — for snapshot boots, the snapshot's save
 // time, so every replica warm-started from one file reports the same
 // epoch. SnapshotDigest is the snapshot payload checksum
-// ("crc32c:xxxxxxxx"), empty for feed-built corpora.
+// ("crc32c:xxxxxxxx"), empty for feed-built corpora. Epoch is the
+// live-reload generation (1 for the boot corpus, bumped by every
+// successful hot reload); the reload counters account for every swap
+// and every degraded reload since boot.
 type CorpusInfo struct {
-	Source         string   `json:"source"`
-	Engine         string   `json:"engine"`
-	Workers        int      `json:"workers"`
-	ValidEntries   int      `json:"valid_entries"`
-	Distros        int      `json:"distros"`
-	OSNames        []string `json:"os_names"`
-	YearFrom       int      `json:"year_from"`
-	YearTo         int      `json:"year_to"`
-	SQL            bool     `json:"sql"`
-	EpochUnix      int64    `json:"epoch_unix"`
-	SnapshotDigest string   `json:"snapshot_digest,omitempty"`
-	Skipped        int      `json:"skipped,omitempty"`
+	Source          string   `json:"source"`
+	Engine          string   `json:"engine"`
+	Workers         int      `json:"workers"`
+	ValidEntries    int      `json:"valid_entries"`
+	Distros         int      `json:"distros"`
+	OSNames         []string `json:"os_names"`
+	YearFrom        int      `json:"year_from"`
+	YearTo          int      `json:"year_to"`
+	SQL             bool     `json:"sql"`
+	Epoch           uint64   `json:"epoch"`
+	EpochUnix       int64    `json:"epoch_unix"`
+	SnapshotDigest  string   `json:"snapshot_digest,omitempty"`
+	Skipped         int      `json:"skipped,omitempty"`
+	ReloadSuccesses uint64   `json:"reload_successes,omitempty"`
+	ReloadFailures  uint64   `json:"reload_failures,omitempty"`
+	LastReloadError string   `json:"last_reload_error,omitempty"`
+	LastReloadUnix  int64    `json:"last_reload_unix,omitempty"`
+}
+
+// Ready is the /readyz document. Status is "ok" once the first epoch is
+// resident; before that /readyz answers 503 with an error envelope.
+type Ready struct {
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// ReloadResult is the POST /admin/reload success document.
+type ReloadResult struct {
+	Epoch         uint64 `json:"epoch"`
+	Source        string `json:"source"`
+	ValidEntries  int    `json:"valid_entries"`
+	SwappedAtUnix int64  `json:"swapped_at_unix"`
 }
 
 // ValidityRow is one row of Table I.

@@ -53,59 +53,88 @@ func boolParam(q url.Values, name string) (bool, *apiError) {
 // handleHealth and handleCorpus bypass the limiter, singleflight and
 // cache: a liveness probe must answer immediately even when every
 // compute slot is occupied by heavy API requests, and both documents
-// are trivial to render per request.
+// are trivial to render per request. /healthz stays "ok" for the whole
+// process lifetime — readiness (a resident epoch) is /readyz's job.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.respondDirect(w, s.healthDoc())
 }
 
 func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
-	s.respondDirect(w, s.corpusDoc())
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
+	s.respondDirect(w, s.corpusDoc(ep))
 }
 
 func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
-	s.respond(w, "table1", func() (any, *apiError) {
-		return BuildTable1(s.a), nil
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
+	s.respond(w, ep, "table1", func() (any, *apiError) {
+		return BuildTable1(ep.Analysis), nil
 	})
 }
 
 func (s *Server) handleTable2(w http.ResponseWriter, r *http.Request) {
-	s.respond(w, "table2", func() (any, *apiError) {
-		return BuildTable2(s.a), nil
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
+	s.respond(w, ep, "table2", func() (any, *apiError) {
+		return BuildTable2(ep.Analysis), nil
 	})
 }
 
 func (s *Server) handleTable3(w http.ResponseWriter, r *http.Request) {
-	s.respond(w, "table3", func() (any, *apiError) {
-		return BuildTable3(s.a), nil
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
+	s.respond(w, ep, "table3", func() (any, *apiError) {
+		return BuildTable3(ep.Analysis), nil
 	})
 }
 
 func (s *Server) handleTable4(w http.ResponseWriter, r *http.Request) {
-	s.respond(w, "table4", func() (any, *apiError) {
-		return BuildTable4(s.a), nil
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
+	s.respond(w, ep, "table4", func() (any, *apiError) {
+		return BuildTable4(ep.Analysis), nil
 	})
 }
 
 func (s *Server) handleTable5(w http.ResponseWriter, r *http.Request) {
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
 	split, aerr := intParam(r.URL.Query(), "split", DefaultSplitYear, 1900, 2100)
 	if aerr != nil {
 		writeError(w, aerr)
 		return
 	}
-	split = CanonSplitYear(s.a, split)
-	s.respond(w, fmt.Sprintf("table5?split=%d", split), func() (any, *apiError) {
-		return BuildTable5(s.a, split), nil
+	split = CanonSplitYear(ep.Analysis, split)
+	s.respond(w, ep, fmt.Sprintf("table5?split=%d", split), func() (any, *apiError) {
+		return BuildTable5(ep.Analysis, split), nil
 	})
 }
 
 func (s *Server) handleTemporal(w http.ResponseWriter, r *http.Request) {
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
 	osName := r.URL.Query().Get("os")
 	if osName == "" {
 		writeError(w, errBadParam("missing required parameter os"))
 		return
 	}
-	s.respond(w, "temporal?os="+osName, func() (any, *apiError) {
-		doc, err := BuildTemporal(s.a, osName)
+	s.respond(w, ep, "temporal?os="+osName, func() (any, *apiError) {
+		doc, err := BuildTemporal(ep.Analysis, osName)
 		if err != nil {
 			return nil, errBadParam(err.Error())
 		}
@@ -114,8 +143,12 @@ func (s *Server) handleTemporal(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleKWise(w http.ResponseWriter, r *http.Request) {
-	s.respond(w, "kwise", func() (any, *apiError) {
-		return BuildKWise(s.a), nil
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
+	s.respond(w, ep, "kwise", func() (any, *apiError) {
+		return BuildKWise(ep.Analysis), nil
 	})
 }
 
@@ -131,32 +164,47 @@ const mostSharedCacheMax = 4096
 // underlying bucket sort, so only the encoding is per-request on the
 // streamed path. Streamed and cached bytes are identical.
 func (s *Server) handleMostShared(w http.ResponseWriter, r *http.Request) {
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
 	n, aerr := intParam(r.URL.Query(), "n", defaultMostShared, 1, 1<<30)
 	if aerr != nil {
 		writeError(w, aerr)
 		return
 	}
-	n = CanonListLimit(s.a, n)
+	n = CanonListLimit(ep.Analysis, n)
 	if n <= mostSharedCacheMax {
-		s.respond(w, fmt.Sprintf("mostshared?n=%d", n), func() (any, *apiError) {
-			return BuildMostShared(s.a, n), nil
+		s.respond(w, ep, fmt.Sprintf("mostshared?n=%d", n), func() (any, *apiError) {
+			return BuildMostShared(ep.Analysis, n), nil
 		})
 		return
 	}
 	var doc httpapi.MostShared
-	func() {
+	aerr = func() *apiError {
 		// Hold a limiter slot only for the build, released on panic
 		// too; streaming to a slow client must not pin a compute slot.
-		s.limiter <- struct{}{}
-		defer func() { <-s.limiter }()
+		if aerr := s.acquire(); aerr != nil {
+			return aerr
+		}
+		defer s.release()
 		s.computes.Add(1)
-		doc = BuildMostShared(s.a, n)
+		doc = BuildMostShared(ep.Analysis, n)
+		return nil
 	}()
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	streamMostShared(w, doc)
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
 	q := r.URL.Query()
 	k, aerr := intParam(q, "k", defaultSelectK, 1, 8)
 	if aerr != nil {
@@ -173,19 +221,23 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr)
 		return
 	}
-	toYear = CanonSplitYear(s.a, toYear)
+	toYear = CanonSplitYear(ep.Analysis, toYear)
 	top, aerr := intParam(q, "top", 0, 0, 1<<30)
 	if aerr != nil {
 		writeError(w, aerr)
 		return
 	}
 	key := fmt.Sprintf("select?k=%d&opf=%t&to=%d&top=%d", k, onePerFamily, toYear, top)
-	s.respond(w, key, func() (any, *apiError) {
-		return BuildSelect(s.a, k, onePerFamily, toYear, top), nil
+	s.respond(w, ep, key, func() (any, *apiError) {
+		return BuildSelect(ep.Analysis, k, onePerFamily, toYear, top), nil
 	})
 }
 
 func (s *Server) handleReleases(w http.ResponseWriter, r *http.Request) {
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
 	q := r.URL.Query()
 	a, va := q.Get("a"), q.Get("va")
 	b, vb := q.Get("b"), q.Get("vb")
@@ -197,8 +249,8 @@ func (s *Server) handleReleases(w http.ResponseWriter, r *http.Request) {
 	}
 	switch set {
 	case 0:
-		s.respond(w, "releases", func() (any, *apiError) {
-			doc, err := BuildReleases(s.a)
+		s.respond(w, ep, "releases", func() (any, *apiError) {
+			doc, err := BuildReleases(ep.Analysis)
 			if err != nil {
 				return nil, errBadParam(err.Error())
 			}
@@ -206,8 +258,8 @@ func (s *Server) handleReleases(w http.ResponseWriter, r *http.Request) {
 		})
 	case 4:
 		key := "releases?" + url.Values{"a": {a}, "va": {va}, "b": {b}, "vb": {vb}}.Encode()
-		s.respond(w, key, func() (any, *apiError) {
-			doc, err := BuildReleaseOverlap(s.a, a, va, b, vb)
+		s.respond(w, ep, key, func() (any, *apiError) {
+			doc, err := BuildReleaseOverlap(ep.Analysis, a, va, b, vb)
 			if err != nil {
 				return nil, errBadParam(err.Error())
 			}
@@ -219,6 +271,10 @@ func (s *Server) handleReleases(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
 	q := r.URL.Query()
 	oses := q["os"]
 	if len(oses) == 0 {
@@ -247,8 +303,8 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		"name": {name}, "os": oses,
 		"f": {strconv.Itoa(f)}, "trials": {strconv.Itoa(trials)},
 	}.Encode()
-	s.respond(w, key, func() (any, *apiError) {
-		doc, err := BuildAttack(s.a, name, oses, f, trials)
+	s.respond(w, ep, key, func() (any, *apiError) {
+		doc, err := BuildAttack(ep.Analysis, name, oses, f, trials)
 		if err != nil {
 			return nil, errBadParam(err.Error())
 		}
@@ -257,12 +313,16 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSQLTable3(w http.ResponseWriter, r *http.Request) {
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
 	if s.cfg.DBPath == "" {
 		writeError(w, &apiError{status: http.StatusNotFound, code: "no_database",
 			message: "server was not started over an imported database (osdiv -db ... serve)"})
 		return
 	}
-	s.respond(w, "sqltable3", func() (any, *apiError) {
+	s.respond(w, ep, "sqltable3", func() (any, *apiError) {
 		doc, err := BuildSQLTable3(s.cfg.DBPath, s.cfg.Workers)
 		if err != nil {
 			return nil, &apiError{status: http.StatusInternalServerError,

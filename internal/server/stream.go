@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"osdiversity/internal/epoch"
 	"osdiversity/internal/httpapi"
 )
 
@@ -14,9 +15,17 @@ func (s *Server) healthDoc() httpapi.Health {
 	return httpapi.Health{Status: "ok"}
 }
 
-// corpusDoc is the /corpus payload.
-func (s *Server) corpusDoc() httpapi.CorpusInfo {
-	return BuildCorpus(s.a, s.cfg.Source, s.cfg.Engine, s.cfg.Workers, s.cfg.DBPath != "")
+// corpusDoc is the /corpus payload for the epoch the request resolved.
+func (s *Server) corpusDoc(ep *epoch.Epoch) httpapi.CorpusInfo {
+	st := s.epochs.Status()
+	return BuildCorpus(ep.Analysis, ep.Source, s.cfg.Engine, s.cfg.Workers, s.cfg.DBPath != "",
+		EpochStatus{
+			Epoch:           ep.Seq,
+			ReloadSuccesses: st.Successes,
+			ReloadFailures:  st.Failures,
+			LastReloadError: st.LastError,
+			LastReloadUnix:  st.LastErrorUnix,
+		})
 }
 
 // streamMostShared writes the MostShared document without materializing

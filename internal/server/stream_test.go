@@ -19,9 +19,13 @@ func TestPanickingBuildDoesNotWedgeKey(t *testing.T) {
 		t.Fatalf("LoadCalibrated: %v", err)
 	}
 	s := New(a, Config{Workers: 1})
+	ep, ok := s.epochs.Current()
+	if !ok {
+		t.Fatal("New left no epoch resident")
+	}
 
 	rec := httptest.NewRecorder()
-	s.respond(rec, "panicky", func() (any, *apiError) {
+	s.respond(rec, ep, "panicky", func() (any, *apiError) {
 		panic("boom")
 	})
 	if rec.Code != 500 || !strings.Contains(rec.Body.String(), `"internal_panic"`) {
@@ -30,7 +34,7 @@ func TestPanickingBuildDoesNotWedgeKey(t *testing.T) {
 	}
 
 	rec = httptest.NewRecorder()
-	s.respond(rec, "panicky", func() (any, *apiError) {
+	s.respond(rec, ep, "panicky", func() (any, *apiError) {
 		return httpapi.Health{Status: "recovered"}, nil
 	})
 	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "recovered") {

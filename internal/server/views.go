@@ -48,26 +48,42 @@ func CanonListLimit(a *osdiversity.Analysis, n int) int {
 	return n
 }
 
+// EpochStatus is the live-reload accounting BuildCorpus folds into the
+// /corpus document. A CLI rendering of a one-shot corpus passes
+// {Epoch: 1}: the only generation that ever exists in that process.
+type EpochStatus struct {
+	Epoch           uint64
+	ReloadSuccesses uint64
+	ReloadFailures  uint64
+	LastReloadError string
+	LastReloadUnix  int64
+}
+
 // BuildCorpus describes the loaded corpus for /corpus.
-func BuildCorpus(a *osdiversity.Analysis, source, engine string, workers int, sql bool) httpapi.CorpusInfo {
+func BuildCorpus(a *osdiversity.Analysis, source, engine string, workers int, sql bool, es EpochStatus) httpapi.CorpusInfo {
 	names := a.OSNames()
 	if names == nil {
 		names = []string{}
 	}
 	lo, hi := a.YearRange()
 	return httpapi.CorpusInfo{
-		Source:         source,
-		Engine:         engine,
-		Workers:        workers,
-		ValidEntries:   a.ValidCount(),
-		Distros:        len(names),
-		OSNames:        names,
-		YearFrom:       lo,
-		YearTo:         hi,
-		SQL:            sql,
-		EpochUnix:      a.Epoch().Unix(),
-		SnapshotDigest: a.SnapshotDigest(),
-		Skipped:        a.MalformedSkipped(),
+		Source:          source,
+		Engine:          engine,
+		Workers:         workers,
+		ValidEntries:    a.ValidCount(),
+		Distros:         len(names),
+		OSNames:         names,
+		YearFrom:        lo,
+		YearTo:          hi,
+		SQL:             sql,
+		Epoch:           es.Epoch,
+		EpochUnix:       a.Epoch().Unix(),
+		SnapshotDigest:  a.SnapshotDigest(),
+		Skipped:         a.MalformedSkipped(),
+		ReloadSuccesses: es.ReloadSuccesses,
+		ReloadFailures:  es.ReloadFailures,
+		LastReloadError: es.LastReloadError,
+		LastReloadUnix:  es.LastReloadUnix,
 	}
 }
 
