@@ -16,6 +16,9 @@
 //	simulate  run the attack simulation extension (E12)
 //	sqltable3 print the Table III matrix computed by the SQL engine
 //	          (requires -db; one grouped hash-join plan, no Study)
+//	query     run one ad-hoc SELECT against the imported database
+//	          (requires -db; positional args bind `?` placeholders;
+//	          output is byte-identical to the server's POST /api/query)
 //	serve     stay resident and answer every query over HTTP/JSON
 //	          (-addr, -max-inflight, -max-queue-wait; drains gracefully
 //	          on SIGTERM). The corpus loads in the background — /readyz
@@ -37,6 +40,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -47,8 +51,10 @@ import (
 
 	"osdiversity"
 	"osdiversity/internal/httpapi"
+	"osdiversity/internal/relstore"
 	"osdiversity/internal/report"
 	"osdiversity/internal/server"
+	"osdiversity/internal/vulndb"
 )
 
 func main() {
@@ -69,9 +75,16 @@ func main() {
 		usage()
 	}
 
-	// sqltable3 runs against the database directly — no Study needed.
+	// sqltable3 and query run against the database directly — no Study
+	// needed.
 	if flag.Arg(0) == "sqltable3" {
 		if err := runSQLTable3(*db, *workers); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if flag.Arg(0) == "query" {
+		if err := runQuery(*db, *workers, flag.Args()[1:]); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -120,7 +133,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir [-stream] | -synthetic n | -snapshot file] [-workers n] [-engine bitset|scan] tables|figures|kwise|select|releases|simulate|sqltable3|serve [options]")
+	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir [-stream] | -synthetic n | -snapshot file] [-workers n] [-engine bitset|scan] tables|figures|kwise|select|releases|simulate|sqltable3|query|serve [options]")
 	os.Exit(2)
 }
 
@@ -140,6 +153,58 @@ func runSQLTable3(dbPath string, workers int) error {
 		t.AddRowValues(c.A+"-"+c.B, c.Shared)
 	}
 	return t.WriteASCII(os.Stdout)
+}
+
+// runQuery executes one ad-hoc SELECT against the imported database and
+// prints the httpapi.QueryResult document — byte-identical to the
+// server's POST /api/query response for the same statement, which the
+// CI smoke diffs. Arguments after the SQL bind positionally to `?`
+// placeholders: each parses as JSON (42, 4.5, true, null, "text"), and
+// anything that is not valid JSON binds as a plain string.
+func runQuery(dbPath string, workers int, args []string) error {
+	if dbPath == "" {
+		return fmt.Errorf("query needs -db (a database produced by nvdimport)")
+	}
+	if len(args) < 1 {
+		return fmt.Errorf("usage: osdiv -db file query \"SELECT ...\" [arg ...]")
+	}
+	sql := args[0]
+	stmt, err := relstore.Parse(sql)
+	if err != nil {
+		return err
+	}
+	if _, ok := stmt.(*relstore.SelectStmt); !ok {
+		return fmt.Errorf("only SELECT statements are served; data and schema changes go through nvdimport")
+	}
+	jsonArgs := make([]any, 0, len(args)-1)
+	for _, raw := range args[1:] {
+		dec := json.NewDecoder(strings.NewReader(raw))
+		dec.UseNumber()
+		var v any
+		if err := dec.Decode(&v); err != nil || dec.More() {
+			v = raw // not JSON: bind as text
+		}
+		jsonArgs = append(jsonArgs, v)
+	}
+	vals, err := server.QueryArgsFromJSON(jsonArgs)
+	if err != nil {
+		return err
+	}
+	db, err := vulndb.Open(dbPath)
+	if err != nil {
+		return err
+	}
+	db.SetParallelism(workers)
+	res, err := db.Store().Query(sql, vals...)
+	if err != nil {
+		return err
+	}
+	body, err := httpapi.Marshal(server.BuildQueryResult(res))
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(body)
+	return err
 }
 
 type loadConfig struct {
@@ -275,7 +340,7 @@ func runTablesJSON(a *osdiversity.Analysis, cfg loadConfig, which int) error {
 	// A one-shot CLI render is always generation 1 with no reload
 	// history, exactly like a freshly booted server.
 	corpus := server.BuildCorpus(a, sourceName(cfg), engine, a.Parallelism(), cfg.db != "",
-		server.EpochStatus{Epoch: 1})
+		server.EpochStatus{Epoch: 1}, nil)
 	b, err := httpapi.Marshal(corpus)
 	if err != nil {
 		return err

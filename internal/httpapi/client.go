@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -208,6 +209,63 @@ func (c *Client) PostRaw(path string, query url.Values) ([]byte, error) {
 // PostRawContext is PostRaw under a caller context.
 func (c *Client) PostRawContext(ctx context.Context, path string, query url.Values) ([]byte, error) {
 	return c.attempt(ctx, http.MethodPost, c.url(path, query))
+}
+
+// PostJSON POSTs a JSON-encoded body and returns the raw 200 body.
+// Like the other POSTs it is never retried.
+func (c *Client) PostJSON(path string, body any) ([]byte, error) {
+	return c.PostJSONContext(context.Background(), path, body)
+}
+
+// PostJSONContext is PostJSON under a caller context.
+func (c *Client) PostJSONContext(ctx context.Context, path string, body any) ([]byte, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path, nil), bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var env ErrorEnvelope
+		if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code == "" {
+			return nil, &Error{StatusCode: resp.StatusCode, Code: "malformed_error",
+				Message: string(raw)}
+		}
+		return nil, &Error{StatusCode: resp.StatusCode, Code: env.Error.Code,
+			Message: env.Error.Message}
+	}
+	return raw, nil
+}
+
+// Query POSTs one SELECT to /api/query and decodes the result document
+// (available when the server was started over an imported database).
+func (c *Client) Query(sql string, args ...any) (QueryResult, error) {
+	var out QueryResult
+	body, err := c.PostJSON("/api/query", QueryRequest{SQL: sql, Args: args})
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return out, fmt.Errorf("httpapi: decode /api/query: %w", err)
+	}
+	return out, nil
 }
 
 // get fetches and decodes a document.

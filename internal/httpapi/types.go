@@ -42,6 +42,41 @@ type CorpusInfo struct {
 	ReloadFailures  uint64   `json:"reload_failures,omitempty"`
 	LastReloadError string   `json:"last_reload_error,omitempty"`
 	LastReloadUnix  int64    `json:"last_reload_unix,omitempty"`
+
+	// PlanCache reports the resident database's shared plan cache; nil
+	// when the server was not started over an imported database.
+	PlanCache *PlanCacheInfo `json:"plan_cache,omitempty"`
+}
+
+// PlanCacheInfo reports the SQL plan cache of the resident database:
+// size against capacity plus lifetime hit/miss/eviction/invalidation
+// counters. Present on /corpus only when the server runs over an
+// imported database.
+type PlanCacheInfo struct {
+	Size          int    `json:"size"`
+	Capacity      int    `json:"capacity"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+// QueryRequest is the POST /api/query body: one SELECT statement with
+// optional positional arguments for its `?` placeholders. Arguments
+// bind as typed values — numbers, strings, booleans or null — never by
+// text substitution.
+type QueryRequest struct {
+	SQL  string `json:"sql"`
+	Args []any  `json:"args,omitempty"`
+}
+
+// QueryResult is the /api/query document. Rows hold JSON-typed cells in
+// column order; large results are streamed row by row, byte-identical
+// to Marshal of the whole document.
+type QueryResult struct {
+	Columns []string `json:"columns"`
+	N       int      `json:"n"`
+	Rows    [][]any  `json:"rows"`
 }
 
 // Ready is the /readyz document. Status is "ok" once the first epoch is

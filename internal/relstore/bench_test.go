@@ -139,6 +139,112 @@ func BenchmarkJoinCompoundOnNaive(b *testing.B) { benchmarkCompoundJoin(b, PlanN
 // query: pushdown + hash join with residual probe predicates.
 func BenchmarkJoinCompoundOnPlanned(b *testing.B) { benchmarkCompoundJoin(b, PlanJoin) }
 
+// preparedBenchDB keeps the tables tiny under a deliberately wide
+// query, so parse + plan time dominates row processing and the
+// cache-hit/cold pair isolates what the plan cache saves.
+func preparedBenchDB(b *testing.B) *DB {
+	b.Helper()
+	db := Open()
+	if _, err := db.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE dim (k INTEGER, tier INTEGER, label TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE INDEX ON dim (k)`); err != nil {
+		b.Fatal(err)
+	}
+	for j := 1; j <= 4; j++ {
+		if _, err := db.Exec(fmt.Sprintf(`CREATE TABLE aux%d (k INTEGER, w INTEGER)`, j)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec(fmt.Sprintf(`CREATE INDEX ON aux%d (k)`, j)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if err := InsertRow(db, "t", []string{"id", "k", "v"},
+			[]Value{Int(int64(i)), Int(int64(i % 2)), Text(fmt.Sprintf("row%d", i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := InsertRow(db, "dim", []string{"k", "tier", "label"},
+			[]Value{Int(int64(i)), Int(int64(i % 3)), Text(fmt.Sprintf("d%d", i))}); err != nil {
+			b.Fatal(err)
+		}
+		for j := 1; j <= 4; j++ {
+			if err := InsertRow(db, fmt.Sprintf("aux%d", j), []string{"k", "w"},
+				[]Value{Int(int64(i)), Int(int64(i * 3))}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+// preparedBenchQuery is wide to parse, validate and plan but cheap to
+// execute: pure single-key equi joins over stored indexes (the build
+// side is reused as-is), every WHERE conjunct is single-table on the
+// tiny probe base, and there are no literal slots to bind — LIKE
+// patterns stay literal under normalization — so a cache hit replays
+// the compiled plan untouched.
+const preparedBenchQuery = `
+	SELECT dim.label, COUNT(*), COUNT(DISTINCT t.v), MIN(t.id), MAX(t.id), SUM(aux1.w), AVG(aux2.w) FROM t
+	JOIN dim ON t.k = dim.k
+	JOIN aux1 ON dim.k = aux1.k
+	JOIN aux2 ON aux1.k = aux2.k
+	JOIN aux3 ON aux2.k = aux3.k
+	JOIN aux4 ON aux3.k = aux4.k
+	WHERE t.v LIKE 'row0%' AND t.id >= t.k AND t.k <= t.id
+	  AND t.v NOT LIKE 'nope%' AND t.v NOT LIKE 'absent%' AND t.v NOT LIKE 'ww%'
+	  AND t.v NOT LIKE 'zz%' AND t.v NOT LIKE 'yy%' AND t.v NOT LIKE 'xx%'
+	  AND t.v NOT LIKE 'qq%' AND t.v NOT LIKE 'pp%' AND t.v NOT LIKE 'rr%'
+	  AND t.v NOT LIKE 'ss%' AND t.v NOT LIKE 'tt%' AND t.v NOT LIKE 'uu%'
+	  AND t.v NOT LIKE 'vv%' AND t.v NOT LIKE 'mm%' AND t.v NOT LIKE 'nn%'
+	  AND t.v NOT LIKE 'oo%' AND t.v NOT LIKE 'kk%' AND t.v NOT LIKE 'll%'
+	  AND t.id >= t.id AND t.k >= t.k AND t.v = t.v AND t.id <= t.id
+	  AND t.k <= t.k AND t.v >= t.v AND t.v <= t.v AND t.id = t.id
+	GROUP BY dim.label
+	HAVING MAX(t.id) >= MIN(t.id) AND COUNT(*) >= MIN(t.k)
+	ORDER BY dim.label`
+
+// BenchmarkPreparedQueryCacheHit replays a prepared handle whose plan
+// sits in the cache: every iteration is the hit fast path — an atomic
+// generation check plus execution, with no lexing, parsing or planning.
+func BenchmarkPreparedQueryCacheHit(b *testing.B) {
+	db := preparedBenchDB(b)
+	st, err := db.Prepare(preparedBenchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Query(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := st.Query()
+		if err != nil || len(res.Rows) == 0 {
+			b.Fatalf("%v, %d rows", err, len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkPreparedQueryCacheCold flushes the cache every iteration, so
+// each run pays the full normalize + parse + validate + plan cost the
+// cache-hit variant amortizes away.
+func BenchmarkPreparedQueryCacheCold(b *testing.B) {
+	db := preparedBenchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.InvalidatePlans()
+		res, err := db.Query(preparedBenchQuery)
+		if err != nil || len(res.Rows) == 0 {
+			b.Fatalf("%v, %d rows", err, len(res.Rows))
+		}
+	}
+}
+
 func BenchmarkParseOnly(b *testing.B) {
 	const q = `SELECT a.name, COUNT(DISTINCT x.vuln_id) FROM os a JOIN os_vuln x ON a.id = x.os_id WHERE a.family = 'BSD' AND x.version LIKE '4.%' GROUP BY a.name ORDER BY a.name DESC LIMIT 10`
 	b.ResetTimer()

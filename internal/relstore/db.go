@@ -24,6 +24,12 @@ type DB struct {
 	workers atomic.Int32
 	// planMode selects the SELECT executor (see PlanMode).
 	planMode atomic.Int32
+	// plans is the shared LRU cache of compiled query plans, keyed on
+	// normalized shape (see prepare.go).
+	plans *planCache
+	// schemaGen counts DDL generations; cached plans carry the
+	// generation they were compiled against and are dropped on mismatch.
+	schemaGen atomic.Uint64
 }
 
 // Option configures a database at Open time.
@@ -36,14 +42,48 @@ func Workers(n int) Option {
 	return func(db *DB) { db.SetParallelism(n) }
 }
 
+// PlanCacheCapacity bounds the shared plan cache at Open time; n <= 0
+// selects the default capacity.
+func PlanCacheCapacity(n int) Option {
+	return func(db *DB) { db.plans.setCapacity(n) }
+}
+
 // Open returns an empty database.
 func Open(opts ...Option) *DB {
-	db := &DB{tables: make(map[string]*table)}
+	db := &DB{
+		tables: make(map[string]*table),
+		plans:  newPlanCache(defaultPlanCacheCapacity),
+	}
 	for _, opt := range opts {
 		opt(db)
 	}
 	return db
 }
+
+// SetPlanCacheCapacity rebounds the plan cache of a live database,
+// evicting least-recently-used plans beyond the new capacity.
+func (db *DB) SetPlanCacheCapacity(n int) { db.plans.setCapacity(n) }
+
+// PlanCacheStats reports the shared plan cache counters.
+func (db *DB) PlanCacheStats() PlanCacheStats { return db.plans.stats() }
+
+// PlanCacheEntries snapshots the cached shapes, most recently used
+// first, with each plan's reuse count.
+func (db *DB) PlanCacheEntries() []PlanCacheEntry { return db.plans.entriesSnapshot() }
+
+// invalidatePlans bumps the schema generation and flushes the plan
+// cache. DDL statements call it under db.mu.Lock, so no compilation
+// (which requires at least the read lock) can interleave.
+func (db *DB) invalidatePlans() {
+	db.schemaGen.Add(1)
+	db.plans.flush()
+}
+
+// InvalidatePlans flushes the shared plan cache and bumps the schema
+// generation, forcing every future execution — held Stmts included —
+// to recompile. Exposed for corpus epoch swaps, where the server must
+// not serve a plan compiled against a retired schema.
+func (db *DB) InvalidatePlans() { db.invalidatePlans() }
 
 // SetParallelism changes the query worker count of an existing
 // database. n <= 0 selects GOMAXPROCS.
@@ -234,8 +274,36 @@ func (db *DB) ExecStmt(stmt Statement, args ...Value) (int, error) {
 
 // Query runs a SELECT and returns its result set. `?` placeholders in
 // the statement bind positionally to args (the typed-Value path, so
-// caller-supplied text never needs quoting).
+// caller-supplied text never needs quoting). The statement compiles
+// through the shared plan cache: its text normalizes to a shape
+// (literals canonicalized to placeholders) and the shape's parsed AST
+// and plan are reused across calls; execution binds the literals plus
+// args onto copy-on-write clones. PlanNaive bypasses the cache and runs
+// the uncached reference path.
 func (db *DB) Query(sql string, args ...Value) (*Result, error) {
+	if db.Plan() == PlanNaive {
+		return db.queryUncached(sql, args...)
+	}
+	shape, slots, err := normalizeSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, err := db.compiled(shape)
+	if err != nil {
+		return nil, err
+	}
+	if n := countUserSlots(slots); n != len(args) {
+		return nil, fmt.Errorf("relstore: statement has %d placeholders, got %d arguments", n, len(args))
+	}
+	return db.execCompiled(c, mergeSlots(slots, args))
+}
+
+// queryUncached is the reference query path: parse, bind and plan on
+// every call, never touching the plan cache. PlanNaive runs through it,
+// and the identity tests compare it against the cached path.
+func (db *DB) queryUncached(sql string, args ...Value) (*Result, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, err
@@ -260,6 +328,11 @@ func (db *DB) QueryInt(sql string, args ...Value) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return resultInt(res)
+}
+
+// resultInt extracts the single int cell of a one-cell result.
+func resultInt(res *Result) (int64, error) {
 	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
 		return 0, fmt.Errorf("relstore: QueryInt got %dx%d result", len(res.Rows), len(res.Columns))
 	}
@@ -311,6 +384,7 @@ func (db *DB) createTable(s *CreateTableStmt) error {
 		return err
 	}
 	db.tables[s.Table] = t
+	db.invalidatePlans()
 	return nil
 }
 
@@ -334,6 +408,7 @@ func (db *DB) createIndex(s *CreateIndexStmt) error {
 		idx[k] = append(idx[k], i)
 	}
 	t.indexes[s.Column] = idx
+	db.invalidatePlans()
 	return nil
 }
 
@@ -344,6 +419,7 @@ func (db *DB) dropTable(s *DropTableStmt) error {
 		return fmt.Errorf("relstore: no table %q", s.Table)
 	}
 	delete(db.tables, s.Table)
+	db.invalidatePlans()
 	return nil
 }
 

@@ -262,10 +262,11 @@ type joinedRows struct {
 	combos  [][][]Value // combos[i][t] = row of table t in combined row i
 }
 
+// maxPlannedTables bounds the planner's table bitmask; wider joins
+// (never seen in practice) fall back to the reference executor.
+const maxPlannedTables = 64
+
 func (db *DB) execSelect(s *SelectStmt) (*Result, error) {
-	// maxPlannedTables bounds the planner's table bitmask; wider joins
-	// (never seen in practice) fall back to the reference executor.
-	const maxPlannedTables = 64
 	if db.Plan() == PlanNaive || len(s.Joins)+1 > maxPlannedTables {
 		return db.execSelectNaive(s)
 	}
@@ -441,7 +442,10 @@ func validateExpr(e Expr, env *rowEnv, extraNames map[string]bool) error {
 		}
 		return nil
 	case *PlaceholderExpr:
-		return fmt.Errorf("relstore: unbound placeholder ?%d (pass arguments to Query/Exec)", x.Index+1)
+		// Valid at validation time: the plan cache validates and plans
+		// the unbound shape once, and execution always binds arguments
+		// before any row flows (eval still rejects an unbound one).
+		return nil
 	default:
 		return nil
 	}

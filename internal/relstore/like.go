@@ -1,6 +1,9 @@
 package relstore
 
-import "unicode/utf8"
+import (
+	"sync/atomic"
+	"unicode/utf8"
+)
 
 // SQL LIKE support. Patterns compile once (per parsed statement, cached
 // on the LikeExpr) into a small wildcard program; matching then walks
@@ -26,10 +29,16 @@ type likeProg struct {
 	ops []likeOp
 }
 
+// likeCompiles counts pattern compilations, so tests can assert that
+// binding a prepared statement shares one program instead of
+// recompiling per bound copy.
+var likeCompiles atomic.Uint64
+
 // compileLike translates a pattern into its program. Adjacent `%`
 // wildcards collapse: they match the same strings and would only add
 // backtracking states.
 func compileLike(pattern string) *likeProg {
+	likeCompiles.Add(1)
 	ops := make([]likeOp, 0, utf8.RuneCountInString(pattern))
 	for _, r := range pattern {
 		switch r {

@@ -115,7 +115,11 @@ func bindExpr(e Expr, args []Value) Expr {
 		return &InExpr{Target: target, List: list, Negate: x.Negate}
 	case *LikeExpr:
 		if target := bindExpr(x.Target, args); target != x.Target {
-			return &LikeExpr{Target: target, Pattern: x.Pattern, Negate: x.Negate}
+			ne := &LikeExpr{Target: target, Pattern: x.Pattern, Negate: x.Negate}
+			// Share the compiled wildcard program: every bound copy of a
+			// prepared statement matches through one compilation.
+			ne.prog.Store(x.program())
+			return ne
 		}
 		return e
 	case *CallExpr:

@@ -223,13 +223,19 @@ func equiConjunct(c Expr, env *rowEnv, newBit tableMask) (left, right Expr, ok b
 	}
 }
 
-// execSelectPlanned runs a SELECT through the planner.
+// execSelectPlanned runs a SELECT through the planner, planning and
+// executing in one shot (the uncached reference path).
 func (db *DB) execSelectPlanned(s *SelectStmt) (*Result, error) {
 	plan, err := db.planSelect(s)
 	if err != nil {
 		return nil, err
 	}
+	return db.execPlanned(s, plan)
+}
 
+// execPlanned executes a SELECT against an already-compiled plan (fresh
+// from planSelect or bound from the plan cache).
+func (db *DB) execPlanned(s *SelectStmt, plan *selectPlan) (*Result, error) {
 	baseRows, err := scanCandidates(plan.tables[0], plan.refs[0], plan.basePreds)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,338 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"osdiversity/internal/httpapi"
+	"osdiversity/internal/relstore"
+	"osdiversity/internal/vulndb"
+)
+
+// POST /api/query: ad-hoc SELECTs over the resident imported database.
+// The statement compiles through relstore's shared plan cache, so
+// repeated shapes — even with different literals or arguments — reuse
+// one plan; response bodies cache epoch-scoped through the same
+// singleflight as every other endpoint; and results larger than
+// queryStreamRows stream row by row instead of parking multi-MB bodies
+// in the bounded cache. Only SELECT is accepted: the corpus is
+// read-only while serving, so INSERT/UPDATE/DELETE/DDL answer 400
+// unsupported_statement before touching the engine.
+
+// queryStreamRows is the largest row count answered through the
+// response cache; larger results stream and bypass it. A var so the
+// streaming tests can lower the threshold without a giant fixture.
+var queryStreamRows = 4096
+
+// queryMaxBody bounds the request document.
+const queryMaxBody = 1 << 20
+
+// database lazily opens the imported database once and keeps it
+// resident, so every /api/query shares one store and one plan cache.
+func (s *Server) database() (*vulndb.DB, error) {
+	s.dbOnce.Do(func() {
+		db, err := vulndb.Open(s.cfg.DBPath)
+		if err != nil {
+			s.dbErr = err
+			return
+		}
+		db.SetParallelism(s.cfg.Workers)
+		s.db.Store(db)
+	})
+	if s.dbErr != nil {
+		return nil, s.dbErr
+	}
+	return s.db.Load(), nil
+}
+
+// planCacheInfo reports the resident database's plan cache for /corpus,
+// nil while no database has been opened (no query arrived yet, or the
+// server runs without -db).
+func (s *Server) planCacheInfo() *httpapi.PlanCacheInfo {
+	db := s.db.Load()
+	if db == nil {
+		return nil
+	}
+	st := db.Store().PlanCacheStats()
+	return &httpapi.PlanCacheInfo{
+		Size:          st.Size,
+		Capacity:      st.Capacity,
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Evictions:     st.Evictions,
+		Invalidations: st.Invalidations,
+	}
+}
+
+// QueryArgsFromJSON converts the JSON-typed positional arguments of a
+// QueryRequest into engine values: numbers bind as INTEGER or FLOAT,
+// strings as TEXT, booleans as BOOLEAN, null as NULL. Exported so the
+// osdiv query subcommand binds CLI arguments identically.
+func QueryArgsFromJSON(in []any) ([]relstore.Value, error) {
+	out := make([]relstore.Value, 0, len(in))
+	for i, a := range in {
+		switch v := a.(type) {
+		case nil:
+			out = append(out, relstore.Null())
+		case bool:
+			out = append(out, relstore.Bool(v))
+		case string:
+			out = append(out, relstore.Text(v))
+		case json.Number:
+			if !strings.ContainsAny(v.String(), ".eE") {
+				n, err := v.Int64()
+				if err == nil {
+					out = append(out, relstore.Int(n))
+					continue
+				}
+			}
+			f, err := v.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("arg %d: not a number: %q", i, v.String())
+			}
+			out = append(out, relstore.Float(f))
+		case float64:
+			// A caller decoding without UseNumber lands here.
+			if v == float64(int64(v)) {
+				out = append(out, relstore.Int(int64(v)))
+			} else {
+				out = append(out, relstore.Float(v))
+			}
+		default:
+			return nil, fmt.Errorf("arg %d: must be a number, string, boolean or null", i)
+		}
+	}
+	return out, nil
+}
+
+// BuildQueryResult renders an engine result as the /api/query document.
+// Exported so the osdiv query subcommand prints byte-identical output.
+func BuildQueryResult(res *relstore.Result) httpapi.QueryResult {
+	doc := httpapi.QueryResult{
+		Columns: res.Columns,
+		N:       len(res.Rows),
+		Rows:    make([][]any, 0, len(res.Rows)),
+	}
+	if doc.Columns == nil {
+		doc.Columns = []string{}
+	}
+	for _, row := range res.Rows {
+		out := make([]any, len(row))
+		for i, v := range row {
+			out[i] = valueToJSON(v)
+		}
+		doc.Rows = append(doc.Rows, out)
+	}
+	return doc
+}
+
+// valueToJSON maps one cell onto its JSON encoding: numbers stay
+// numbers, timestamps render RFC 3339, NULL is null.
+func valueToJSON(v relstore.Value) any {
+	switch v.Kind() {
+	case relstore.KindInt:
+		return v.AsInt()
+	case relstore.KindFloat:
+		return v.AsFloat()
+	case relstore.KindText:
+		return v.AsText()
+	case relstore.KindBool:
+		return v.AsBool()
+	case relstore.KindTime:
+		return v.AsTime().Format(time.RFC3339)
+	default:
+		return nil
+	}
+}
+
+// streamQueryResult writes the QueryResult document without
+// materializing the whole body: header fields first, then the rows
+// array element by element through a buffered writer. The emitted bytes
+// are identical to httpapi.Marshal(doc), so streamed and cached query
+// responses stay textually comparable.
+func streamQueryResult(w io.Writer, doc *httpapi.QueryResult) error {
+	bw := bufio.NewWriterSize(w, 32<<10)
+	cols, err := json.Marshal(doc.Columns)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, `{"columns":%s,"n":%d,"rows":[`, cols, doc.N); err != nil {
+		return err
+	}
+	for i, row := range doc.Rows {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		elem, err := json.Marshal(row)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(elem); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// queryCall is one in-flight /api/query singleflight computation.
+// Small results land in body (and the response cache); large results
+// keep the document, and leader and waiters stream it independently.
+type queryCall struct {
+	done chan struct{}
+	body []byte
+	doc  *httpapi.QueryResult
+	err  *apiError
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
+	if s.cfg.DBPath == "" {
+		writeError(w, &apiError{status: http.StatusNotFound, code: "no_database",
+			message: "server was not started over an imported database (osdiv -db ... serve)"})
+		return
+	}
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, queryMaxBody))
+	dec.UseNumber()
+	var req httpapi.QueryRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, &apiError{status: http.StatusBadRequest, code: "bad_body",
+			message: "request body is not a QueryRequest document: " + err.Error()})
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, &apiError{status: http.StatusBadRequest, code: "bad_query",
+			message: "missing required field sql"})
+		return
+	}
+	// Reject anything but SELECT before the singleflight: a data or
+	// schema change must never reach the resident store, and the typed
+	// envelope tells the client which rule it broke.
+	stmt, err := relstore.Parse(req.SQL)
+	if err != nil {
+		writeError(w, &apiError{status: http.StatusBadRequest, code: "bad_query",
+			message: err.Error()})
+		return
+	}
+	if _, ok := stmt.(*relstore.SelectStmt); !ok {
+		writeError(w, &apiError{status: http.StatusBadRequest, code: "unsupported_statement",
+			message: "only SELECT statements are served; data and schema changes go through import"})
+		return
+	}
+	args, err := QueryArgsFromJSON(req.Args)
+	if err != nil {
+		writeError(w, errBadParam(err.Error()))
+		return
+	}
+	argsKey, err := json.Marshal(req.Args)
+	if err != nil {
+		writeError(w, errBadParam(err.Error()))
+		return
+	}
+	s.respondQuery(w, ep.Seq, "query|"+req.SQL+"|"+string(argsKey), req.SQL, args)
+}
+
+// respondQuery is respond() specialized for /api/query: the same
+// epoch-prefixed response cache and singleflight coalescing, plus a
+// streaming exit for results larger than queryStreamRows. Coalesced
+// waiters of a streamed result each encode the shared immutable
+// document themselves.
+func (s *Server) respondQuery(w http.ResponseWriter, epSeq uint64, key, sql string, args []relstore.Value) {
+	key = "e" + strconv.FormatUint(epSeq, 10) + "|" + key
+
+	s.mu.Lock()
+	s.pruneForEpochLocked(epSeq)
+	if body, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		writeBody(w, body)
+		return
+	}
+	if c, ok := s.queryCalls[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		s.writeQueryOutcome(w, c)
+		return
+	}
+	c := &queryCall{done: make(chan struct{})}
+	s.queryCalls[key] = c
+	s.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = &apiError{status: http.StatusInternalServerError,
+					code: "internal_panic", message: fmt.Sprint(r)}
+			}
+			s.mu.Lock()
+			delete(s.queryCalls, key)
+			if c.err == nil && c.body != nil && epSeq >= s.cacheEpoch {
+				s.storeLocked(key, c.body)
+			}
+			s.mu.Unlock()
+			close(c.done)
+		}()
+		c.body, c.doc, c.err = s.computeQuery(sql, args)
+	}()
+
+	s.writeQueryOutcome(w, c)
+}
+
+// computeQuery executes one SELECT under the in-flight limiter. Small
+// results marshal into a cacheable body; large ones return the document
+// for streaming.
+func (s *Server) computeQuery(sql string, args []relstore.Value) ([]byte, *httpapi.QueryResult, *apiError) {
+	if aerr := s.acquire(); aerr != nil {
+		return nil, nil, aerr
+	}
+	defer s.release()
+	s.computes.Add(1)
+
+	db, err := s.database()
+	if err != nil {
+		return nil, nil, &apiError{status: http.StatusInternalServerError,
+			code: "db_failed", message: err.Error()}
+	}
+	res, err := db.Store().Query(sql, args...)
+	if err != nil {
+		return nil, nil, &apiError{status: http.StatusBadRequest,
+			code: "bad_query", message: err.Error()}
+	}
+	doc := BuildQueryResult(res)
+	if doc.N > queryStreamRows {
+		return nil, &doc, nil
+	}
+	body, merr := httpapi.Marshal(doc)
+	if merr != nil {
+		return nil, nil, &apiError{status: http.StatusInternalServerError,
+			code: "encode_failed", message: merr.Error()}
+	}
+	return body, nil, nil
+}
+
+// writeQueryOutcome serves one settled queryCall: error envelope,
+// cached-size body, or a streamed large document.
+func (s *Server) writeQueryOutcome(w http.ResponseWriter, c *queryCall) {
+	switch {
+	case c.err != nil:
+		writeError(w, c.err)
+	case c.body != nil:
+		writeBody(w, c.body)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		streamQueryResult(w, c.doc)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -17,12 +18,16 @@ import (
 	"osdiversity"
 	"osdiversity/internal/epoch"
 	"osdiversity/internal/httpapi"
+	"osdiversity/internal/relstore"
+	"osdiversity/internal/vulndb"
 )
 
-// reloadFixture is a base corpus plus the delta feeds a reload applies.
+// reloadFixture is a base corpus plus the delta feeds a reload applies,
+// and a database import of the base for the SQL surface.
 type reloadFixture struct {
-	base  *osdiversity.Analysis
-	delta []string
+	base   *osdiversity.Analysis
+	delta  []string
+	dbPath string
 }
 
 func makeReloadFixture(t *testing.T) *reloadFixture {
@@ -39,7 +44,11 @@ func makeReloadFixture(t *testing.T) *reloadFixture {
 	if err != nil {
 		t.Fatalf("StreamFeeds: %v", err)
 	}
-	return &reloadFixture{base: base, delta: feeds[len(feeds)-1:]}
+	dbPath := filepath.Join(dir, "study.db")
+	if _, _, err := osdiversity.ImportFeeds(dbPath, feeds[:len(feeds)-1], osdiversity.WithParallelism(2)); err != nil {
+		t.Fatalf("ImportFeeds: %v", err)
+	}
+	return &reloadFixture{base: base, delta: feeds[len(feeds)-1:], dbPath: dbPath}
 }
 
 // get issues one GET and returns status, the X-Osdiv-Epoch header (0 if
@@ -245,12 +254,45 @@ func TestAdminReloadSwapsAndDegrades(t *testing.T) {
 // race them. Every response must carry an epoch tag whose body is
 // byte-identical to that epoch's precomputed answer (no mixed epochs),
 // epochs must be observed monotonically per connection, no query may
-// see a 5xx, and the server must not leak goroutines. Run with -race.
+// see a 5xx, and the server must not leak goroutines. SQL traffic on
+// POST /api/query rides along: its bytes are epoch-independent (the
+// imported database does not change across reloads) but its plan cache
+// must flush on every swap without corrupting in-flight executions.
+// Run with -race.
 func TestReloadUnderFire(t *testing.T) {
 	fx := makeReloadFixture(t)
 	merged, err := fx.base.ApplyDelta(fx.delta)
 	if err != nil {
 		t.Fatalf("ApplyDelta: %v", err)
+	}
+
+	// The SQL answers the queriers must observe, computed outside the
+	// server on a fresh handle.
+	sqlProbes := []struct {
+		body string
+		sql  string
+		args []relstore.Value
+	}{
+		{`{"sql":"SELECT name, family FROM os ORDER BY name"}`,
+			`SELECT name, family FROM os ORDER BY name`, nil},
+		{`{"sql":"SELECT COUNT(DISTINCT vuln_id) FROM os_vuln WHERE os_id = ?","args":[3]}`,
+			`SELECT COUNT(DISTINCT vuln_id) FROM os_vuln WHERE os_id = ?`,
+			[]relstore.Value{relstore.Int(3)}},
+	}
+	freshDB, err := vulndb.Open(fx.dbPath)
+	if err != nil {
+		t.Fatalf("vulndb.Open: %v", err)
+	}
+	wantSQL := make([][]byte, len(sqlProbes))
+	for i, p := range sqlProbes {
+		res, err := freshDB.Store().Query(p.sql, p.args...)
+		if err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+		wantSQL[i], err = httpapi.Marshal(BuildQueryResult(res))
+		if err != nil {
+			t.Fatalf("probe %d: marshal: %v", i, err)
+		}
 	}
 
 	paths := []string{"/api/table1", "/api/table3", "/api/kwise", "/api/table5?split=2004"}
@@ -283,13 +325,26 @@ func TestReloadUnderFire(t *testing.T) {
 
 	m := epoch.NewManager(epoch.Config{})
 	m.Install(fx.base, "feeds:x")
-	s := NewResident(m, Config{Source: "feeds:x", Workers: 4, MaxInFlight: 8})
+	s := NewResident(m, Config{Source: "feeds:x", Workers: 4, MaxInFlight: 8, DBPath: fx.dbPath})
 	ts := httptest.NewServer(s.Handler())
 	c := ts.Client()
 
+	// Open the resident database before the storm, so every epoch swap
+	// below finds it resident and must flush its plan cache.
+	resp, err := c.Post(ts.URL+"/api/query", "application/json",
+		strings.NewReader(sqlProbes[0].body))
+	if err != nil {
+		t.Fatalf("priming query: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("priming query status = %d", resp.StatusCode)
+	}
+
 	const (
-		queriers = 8
-		rounds   = 6 // alternating success / injected failure
+		queriers    = 8
+		sqlQueriers = 4
+		rounds      = 6 // alternating success / injected failure
 	)
 	done := make(chan struct{})
 	var (
@@ -347,6 +402,57 @@ func TestReloadUnderFire(t *testing.T) {
 		}(i)
 	}
 
+	// SQL queriers ride the same storm through POST /api/query. The
+	// database never changes, so every response — whatever epoch it
+	// lands on, however many plan-cache flushes raced it — must answer
+	// the same canonical bytes.
+	for i := 0; i < sqlQueriers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var lastSeq uint64
+			for n := 0; ; n++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				p := (i + n) % len(sqlProbes)
+				resp, err := c.Post(ts.URL+"/api/query", "application/json",
+					strings.NewReader(sqlProbes[p].body))
+				if err != nil {
+					fail("POST /api/query: %v", err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					fail("POST /api/query: read: %v", err)
+					return
+				}
+				if resp.StatusCode != 200 {
+					fail("POST /api/query: status %d body %q (queries must never fail across reloads)",
+						resp.StatusCode, body)
+					return
+				}
+				seq, err := strconv.ParseUint(resp.Header.Get("X-Osdiv-Epoch"), 10, 64)
+				if err != nil {
+					fail("POST /api/query: epoch header %q", resp.Header.Get("X-Osdiv-Epoch"))
+					return
+				}
+				if seq < lastSeq {
+					fail("POST /api/query: epoch went backwards %d -> %d", lastSeq, seq)
+					return
+				}
+				lastSeq = seq
+				if !bytes.Equal(body, wantSQL[p]) {
+					fail("POST /api/query: probe-%d body differs across reload (epoch %d)", p, seq)
+					return
+				}
+			}
+		}(i)
+	}
+
 	injected := errors.New("injected reload fault")
 	var successes, faults int
 	for n := 0; n < rounds; n++ {
@@ -372,10 +478,35 @@ func TestReloadUnderFire(t *testing.T) {
 			t.Fatalf("round %d: epoch seq = %d, want %d", n, ep.Seq, 2+successes)
 		}
 		successes++
+		// Hold the next round until a request has resolved this epoch:
+		// the per-swap cache prune (and with it the plan-cache flush)
+		// rides on the first request that observes the new epoch, and a
+		// swap nothing ever observed would flush nothing.
+		for {
+			if _, seq, _ := get(t, ts, "/api/table1"); seq == ep.Seq {
+				break
+			}
+		}
 	}
 
 	close(done)
 	wg.Wait()
+
+	// Two distinct-literal queries of one shape: whatever the flushes
+	// left behind, the second must hit the plan the first compiled.
+	for _, body := range []string{
+		`{"sql":"SELECT COUNT(DISTINCT vuln_id) FROM os_vuln WHERE os_id = ?","args":[5]}`,
+		`{"sql":"SELECT COUNT(DISTINCT vuln_id) FROM os_vuln WHERE os_id = ?","args":[6]}`,
+	} {
+		resp, err := c.Post(ts.URL+"/api/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("post-storm query: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("post-storm query status = %d", resp.StatusCode)
+		}
+	}
 	ts.Close()
 
 	if failures.Load() > 0 {
@@ -387,6 +518,23 @@ func TestReloadUnderFire(t *testing.T) {
 	}
 	if st.Seq != uint64(1+successes) {
 		t.Errorf("final seq = %d, want %d", st.Seq, 1+successes)
+	}
+
+	// The SQL surface ran throughout, so the resident database is open
+	// and its plan cache must show the per-epoch flushes: each of the 3
+	// successful swaps invalidates once (the first request resolving the
+	// new epoch carries the flush), and the queriers' repeated shapes
+	// must still have produced hits between flushes.
+	pc := s.planCacheInfo()
+	if pc == nil {
+		t.Fatal("plan cache absent after SQL traffic")
+	}
+	if pc.Invalidations < uint64(successes) {
+		t.Errorf("plan cache invalidations = %d, want >= %d (one per epoch swap)",
+			pc.Invalidations, successes)
+	}
+	if pc.Hits == 0 {
+		t.Error("plan cache recorded no hits under repeated-shape traffic")
 	}
 
 	// The server and test must drain back to the baseline goroutine

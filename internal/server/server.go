@@ -45,6 +45,7 @@ import (
 	"osdiversity"
 	"osdiversity/internal/epoch"
 	"osdiversity/internal/httpapi"
+	"osdiversity/internal/vulndb"
 )
 
 // Config describes the corpus the server answers for and its execution
@@ -109,8 +110,15 @@ type Server struct {
 
 	mu         sync.Mutex
 	calls      map[string]*call
+	queryCalls map[string]*queryCall
 	cache      map[string][]byte
 	cacheEpoch uint64
+
+	// The imported database behind /api/query and the plan-cache stats
+	// on /corpus: opened lazily on the first query, resident after.
+	dbOnce sync.Once
+	dbErr  error
+	db     atomic.Pointer[vulndb.DB]
 
 	computes atomic.Int64
 }
@@ -167,11 +175,12 @@ func NewResident(m *epoch.Manager, cfg Config) *Server {
 
 func newServer(m *epoch.Manager, cfg Config) *Server {
 	return &Server{
-		epochs:  m,
-		cfg:     cfg,
-		limiter: make(chan struct{}, cfg.MaxInFlight),
-		calls:   make(map[string]*call),
-		cache:   make(map[string][]byte),
+		epochs:     m,
+		cfg:        cfg,
+		limiter:    make(chan struct{}, cfg.MaxInFlight),
+		calls:      make(map[string]*call),
+		queryCalls: make(map[string]*queryCall),
+		cache:      make(map[string][]byte),
 	}
 }
 
@@ -209,6 +218,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/releases", s.get(s.handleReleases))
 	mux.HandleFunc("/api/attack", s.get(s.handleAttack))
 	mux.HandleFunc("/api/sqltable3", s.get(s.handleSQLTable3))
+	mux.HandleFunc("/api/query", s.post(s.handleQuery))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &apiError{status: http.StatusNotFound, code: "not_found",
 			message: "unknown endpoint " + r.URL.Path})
@@ -297,14 +307,7 @@ func (s *Server) respond(w http.ResponseWriter, ep *epoch.Epoch, key string, bui
 	key = fmt.Sprintf("e%d|%s", ep.Seq, key)
 
 	s.mu.Lock()
-	// Forward-only prune: the first request to resolve a newer epoch
-	// drops every older epoch's bodies — they can never be requested
-	// again (epoch resolution is monotonic), so holding them would only
-	// crowd the bounded cache.
-	if ep.Seq > s.cacheEpoch {
-		s.cacheEpoch = ep.Seq
-		s.cache = make(map[string][]byte)
-	}
+	s.pruneForEpochLocked(ep.Seq)
 	if body, ok := s.cache[key]; ok {
 		s.mu.Unlock()
 		writeBody(w, body)
@@ -396,6 +399,27 @@ func (s *Server) compute(build func() (any, *apiError)) ([]byte, *apiError) {
 			code: "encode_failed", message: err.Error()}
 	}
 	return body, nil
+}
+
+// pruneForEpochLocked is the forward-only cache prune: the first
+// request to resolve a newer epoch drops every older epoch's bodies —
+// they can never be requested again (epoch resolution is monotonic), so
+// holding them would only crowd the bounded cache. The resident
+// database's plan cache flushes with them: a hot reload may have
+// changed the corpus the SQL surface answers for, and a plan compiled
+// against the previous generation must not survive the swap.
+func (s *Server) pruneForEpochLocked(seq uint64) {
+	if seq <= s.cacheEpoch {
+		return
+	}
+	swapped := s.cacheEpoch != 0 // seq 1 is boot, not a reload
+	s.cacheEpoch = seq
+	s.cache = make(map[string][]byte)
+	if swapped {
+		if db := s.db.Load(); db != nil {
+			db.Store().InvalidatePlans()
+		}
+	}
 }
 
 // storeLocked inserts a body into the response cache, evicting an

@@ -25,7 +25,7 @@ func (s *Server) corpusDoc(ep *epoch.Epoch) httpapi.CorpusInfo {
 			ReloadFailures:  st.Failures,
 			LastReloadError: st.LastError,
 			LastReloadUnix:  st.LastErrorUnix,
-		})
+		}, s.planCacheInfo())
 }
 
 // streamMostShared writes the MostShared document without materializing

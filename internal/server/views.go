@@ -59,8 +59,11 @@ type EpochStatus struct {
 	LastReloadUnix  int64
 }
 
-// BuildCorpus describes the loaded corpus for /corpus.
-func BuildCorpus(a *osdiversity.Analysis, source, engine string, workers int, sql bool, es EpochStatus) httpapi.CorpusInfo {
+// BuildCorpus describes the loaded corpus for /corpus. planCache is
+// the resident database's plan-cache accounting, nil when no database
+// is open (CLI renders pass nil: the subcommand exits before a cache
+// could accumulate history worth reporting).
+func BuildCorpus(a *osdiversity.Analysis, source, engine string, workers int, sql bool, es EpochStatus, planCache *httpapi.PlanCacheInfo) httpapi.CorpusInfo {
 	names := a.OSNames()
 	if names == nil {
 		names = []string{}
@@ -84,6 +87,7 @@ func BuildCorpus(a *osdiversity.Analysis, source, engine string, workers int, sq
 		ReloadFailures:  es.ReloadFailures,
 		LastReloadError: es.LastReloadError,
 		LastReloadUnix:  es.LastReloadUnix,
+		PlanCache:       planCache,
 	}
 }
 

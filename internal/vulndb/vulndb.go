@@ -80,6 +80,60 @@ type DB struct {
 	productID map[string]int64
 	nextVuln  int64
 	nextProd  int64
+
+	// The §III aggregation queries, prepared once per database: the
+	// parse and plan happen at Create/Open, every call after binds
+	// arguments into the cached plan.
+	stCountByOS    *relstore.Stmt
+	stSharedCount  *relstore.Stmt
+	stSharedMatrix *relstore.Stmt
+}
+
+// The aggregation shapes of §III. sharedCountSQL binds OS names as
+// typed parameters, so quote-bearing names neither break the query nor
+// inject SQL.
+const (
+	countByOSSQL = `
+		SELECT os.name, COUNT(DISTINCT os_vuln.vuln_id) AS n
+		FROM os
+		JOIN os_vuln ON os.id = os_vuln.os_id
+		JOIN security_protection sp ON os_vuln.vuln_id = sp.vuln_id
+		WHERE sp.validity = 'Valid'
+		GROUP BY os.name`
+	sharedCountSQL = `
+		SELECT COUNT(DISTINCT x.vuln_id)
+		FROM os_vuln x
+		JOIN os oa ON x.os_id = oa.id
+		JOIN os_vuln y ON x.vuln_id = y.vuln_id
+		JOIN os ob ON y.os_id = ob.id
+		JOIN security_protection sp ON x.vuln_id = sp.vuln_id
+		WHERE oa.name = ? AND ob.name = ? AND sp.validity = 'Valid'`
+	sharedMatrixSQL = `
+		SELECT oa.name, ob.name, COUNT(DISTINCT x.vuln_id)
+		FROM os_vuln x
+		JOIN security_protection sp ON x.vuln_id = sp.vuln_id
+		JOIN os_vuln y ON x.vuln_id = y.vuln_id
+		JOIN os oa ON x.os_id = oa.id
+		JOIN os ob ON y.os_id = ob.id
+		WHERE sp.validity = 'Valid' AND oa.id < ob.id
+		GROUP BY oa.name, ob.name`
+)
+
+// prepareStatements compiles the aggregation queries against the live
+// schema. Prepared handles survive later DDL and plan-cache flushes by
+// recompiling transparently on their next use.
+func (db *DB) prepareStatements() error {
+	var err error
+	if db.stCountByOS, err = db.store.Prepare(countByOSSQL); err != nil {
+		return fmt.Errorf("vulndb: prepare count-by-os: %w", err)
+	}
+	if db.stSharedCount, err = db.store.Prepare(sharedCountSQL); err != nil {
+		return fmt.Errorf("vulndb: prepare shared-count: %w", err)
+	}
+	if db.stSharedMatrix, err = db.store.Prepare(sharedMatrixSQL); err != nil {
+		return fmt.Errorf("vulndb: prepare shared-matrix: %w", err)
+	}
+	return nil
 }
 
 // Create builds a fresh database with the schema and the os table
@@ -116,6 +170,9 @@ func CreateForRegistry(registry *osmap.Registry) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("vulndb: seed os table: %w", err)
 		}
+	}
+	if err := db.prepareStatements(); err != nil {
+		return nil, err
 	}
 	return db, nil
 }
@@ -360,13 +417,7 @@ func vectorFromRow(row []relstore.Value) (cvss.Vector, error) {
 // CountByOS runs the paper's first aggregation as SQL: valid
 // vulnerabilities per OS name.
 func (db *DB) CountByOS() (map[string]int, error) {
-	res, err := db.store.Query(`
-		SELECT os.name, COUNT(DISTINCT os_vuln.vuln_id) AS n
-		FROM os
-		JOIN os_vuln ON os.id = os_vuln.os_id
-		JOIN security_protection sp ON os_vuln.vuln_id = sp.vuln_id
-		WHERE sp.validity = 'Valid'
-		GROUP BY os.name`)
+	res, err := db.stCountByOS.Query()
 	if err != nil {
 		return nil, err
 	}
@@ -383,15 +434,7 @@ func (db *DB) CountByOS() (map[string]int, error) {
 // inject SQL. For the full Table III matrix use SharedMatrix, which
 // answers every pair in one grouped plan.
 func (db *DB) SharedCount(a, b string) (int, error) {
-	n, err := db.store.QueryInt(`
-		SELECT COUNT(DISTINCT x.vuln_id)
-		FROM os_vuln x
-		JOIN os oa ON x.os_id = oa.id
-		JOIN os_vuln y ON x.vuln_id = y.vuln_id
-		JOIN os ob ON y.os_id = ob.id
-		JOIN security_protection sp ON x.vuln_id = sp.vuln_id
-		WHERE oa.name = ? AND ob.name = ? AND sp.validity = 'Valid'`,
-		relstore.Text(a), relstore.Text(b))
+	n, err := db.stSharedCount.QueryInt(relstore.Text(a), relstore.Text(b))
 	return int(n), err
 }
 
@@ -422,15 +465,7 @@ func (db *DB) SharedMatrix() ([]PairShared, error) {
 	}
 	sort.Slice(oses, func(i, j int) bool { return oses[i].id < oses[j].id })
 
-	res, err := db.store.Query(`
-		SELECT oa.name, ob.name, COUNT(DISTINCT x.vuln_id)
-		FROM os_vuln x
-		JOIN security_protection sp ON x.vuln_id = sp.vuln_id
-		JOIN os_vuln y ON x.vuln_id = y.vuln_id
-		JOIN os oa ON x.os_id = oa.id
-		JOIN os ob ON y.os_id = ob.id
-		WHERE sp.validity = 'Valid' AND oa.id < ob.id
-		GROUP BY oa.name, ob.name`)
+	res, err := db.stSharedMatrix.Query()
 	if err != nil {
 		return nil, err
 	}
@@ -491,6 +526,9 @@ func Open(path string) (*DB, error) {
 		return true
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := db.prepareStatements(); err != nil {
 		return nil, err
 	}
 	return db, nil
