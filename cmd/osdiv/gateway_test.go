@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseShardSpec(t *testing.T) {
+	good := []struct {
+		spec string
+		i, n int
+	}{
+		{"1/1", 1, 1}, {"1/2", 1, 2}, {"2/2", 2, 2}, {"7/16", 7, 16},
+	}
+	for _, c := range good {
+		i, n, err := parseShardSpec(c.spec)
+		if err != nil || i != c.i || n != c.n {
+			t.Errorf("parseShardSpec(%q) = %d, %d, %v; want %d, %d", c.spec, i, n, err, c.i, c.n)
+		}
+	}
+	for _, spec := range []string{"", "1", "a/b", "1/", "/2", "0/2", "3/2", "-1/2", "1/0"} {
+		if _, _, err := parseShardSpec(spec); err == nil {
+			t.Errorf("parseShardSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseGatewayFlags(t *testing.T) {
+	opts, err := parseGatewayFlags([]string{
+		"-backends", " http://a:1 ,http://b:2/, ,", "-retries", "2", "-revalidate", "-1ns",
+	})
+	if err != nil {
+		t.Fatalf("parseGatewayFlags: %v", err)
+	}
+	if len(opts.backends) != 2 || opts.backends[0] != "http://a:1" || opts.backends[1] != "http://b:2" {
+		t.Errorf("backends = %q (whitespace and trailing slash must normalize)", opts.backends)
+	}
+	if opts.retries != 2 || opts.revalidate >= 0 {
+		t.Errorf("retries = %d, revalidate = %s", opts.retries, opts.revalidate)
+	}
+	if opts.addr != "127.0.0.1:8090" || opts.timeout != 30*time.Second || opts.maxQueueWait != 5*time.Second {
+		t.Errorf("defaults = %q, %s, %s", opts.addr, opts.timeout, opts.maxQueueWait)
+	}
+
+	bad := []struct {
+		args []string
+		want string
+	}{
+		{[]string{}, "-backends"},
+		{[]string{"-backends", "a:1"}, "http(s)"},
+		{[]string{"-backends", "http://a:1", "extra"}, "unexpected argument"},
+		{[]string{"-backends", "http://a:1", "-retries", "0"}, "-retries"},
+		{[]string{"-backends", "http://a:1", "-max-inflight", "-1"}, "-max-inflight"},
+		{[]string{"-backends", "http://a:1", "-max-queue-wait", "0s"}, "-max-queue-wait"},
+	}
+	for _, c := range bad {
+		if _, err := parseGatewayFlags(c.args); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("parseGatewayFlags(%v) = %v, want error naming %q", c.args, err, c.want)
+		}
+	}
+}

@@ -27,7 +27,14 @@
 //	          /admin/reload, or a directory poll (-watch-interval),
 //	          swapping epochs atomically and degrading to the previous
 //	          epoch when a reload fails; `-tee file` snapshots each
-//	          reloaded epoch for the next warm start.
+//	          reloaded epoch for the next warm start. With `-shard i/N`
+//	          the server owns the i-th of N deterministic year-range
+//	          corpus slices — the backend role behind `osdiv gateway`.
+//	gateway   scatter-gather front-end over sharded backends
+//	          (-backends url1,url2,...): fans every /api query out to
+//	          all shards, merges the partial aggregates, and answers
+//	          byte-identically to one server over the whole corpus
+//	          (docs/ARCHITECTURE.md explains the merge rules).
 //
 // `tables -json` prints the httpapi wire documents instead of ASCII
 // tables — the corpus provenance document first, then tables 1-6;
@@ -104,6 +111,13 @@ func main() {
 		}
 		return
 	}
+	// gateway owns no corpus at all — it scatters to shard backends.
+	if flag.Arg(0) == "gateway" {
+		if err := runGateway(flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	a, err := loadAnalysis(cfg)
 	if err != nil {
@@ -133,7 +147,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir [-stream] | -synthetic n | -snapshot file] [-workers n] [-engine bitset|scan] tables|figures|kwise|select|releases|simulate|sqltable3|query|serve [options]")
+	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir [-stream] | -synthetic n | -snapshot file] [-workers n] [-engine bitset|scan] tables|figures|kwise|select|releases|simulate|sqltable3|query|serve|gateway [options]")
 	os.Exit(2)
 }
 
@@ -217,10 +231,18 @@ type loadConfig struct {
 	distros   int
 	seed      uint64
 	snapshot  string
+	shard     string // "i/N" year-range slice (serve -shard)
 }
 
 func loadAnalysis(cfg loadConfig) (*osdiversity.Analysis, error) {
 	opts := []osdiversity.Option{osdiversity.WithParallelism(cfg.workers)}
+	if cfg.shard != "" {
+		i, n, err := parseShardSpec(cfg.shard)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, osdiversity.WithYearShard(i, n))
+	}
 	switch cfg.engine {
 	case "bitset", "":
 	case "scan":
@@ -339,7 +361,7 @@ func runTablesJSON(a *osdiversity.Analysis, cfg loadConfig, which int) error {
 	}
 	// A one-shot CLI render is always generation 1 with no reload
 	// history, exactly like a freshly booted server.
-	corpus := server.BuildCorpus(a, sourceName(cfg), engine, a.Parallelism(), cfg.db != "",
+	corpus := server.BuildCorpus(a, sourceName(cfg), engine, a.Parallelism(), "", cfg.db != "",
 		server.EpochStatus{Epoch: 1}, nil)
 	b, err := httpapi.Marshal(corpus)
 	if err != nil {

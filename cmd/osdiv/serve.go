@@ -19,8 +19,11 @@ import (
 	"time"
 
 	"osdiversity"
+	"osdiversity/internal/classify"
+	"osdiversity/internal/corpus"
 	"osdiversity/internal/epoch"
 	"osdiversity/internal/server"
+	"osdiversity/internal/vulndb"
 )
 
 // serveOptions are the flags of the serve subcommand.
@@ -32,6 +35,19 @@ type serveOptions struct {
 	watchInterval time.Duration
 	tee           string
 	maxQueueWait  time.Duration
+	shard         string
+}
+
+// parseShardSpec parses a -shard "i/N" spec: which of N deterministic
+// year-range slices this backend owns, 1-based.
+func parseShardSpec(spec string) (i, n int, err error) {
+	if _, err := fmt.Sscanf(spec, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("serve: -shard %q is not i/N", spec)
+	}
+	if n < 1 || i < 1 || i > n {
+		return 0, 0, fmt.Errorf("serve: -shard %q needs 1 <= i <= N", spec)
+	}
+	return i, n, nil
 }
 
 // parseServeFlags parses the serve subcommand's flags. Errors come back
@@ -59,6 +75,8 @@ func parseServeFlags(args []string) (serveOptions, error) {
 		"tee every successfully reloaded epoch to this snapshot file (default: the -snapshot boot path, if any)")
 	fs.DurationVar(&opts.maxQueueWait, "max-queue-wait", 5*time.Second,
 		"how long a query may wait for a compute slot before 503 + Retry-After")
+	fs.StringVar(&opts.shard, "shard", "",
+		"serve shard i/N: own the i-th of N deterministic year-range corpus slices (behind an osdiv gateway)")
 	if err := fs.Parse(args); err != nil {
 		return serveOptions{}, fmt.Errorf("serve: %w", err)
 	}
@@ -80,7 +98,46 @@ func parseServeFlags(args []string) (serveOptions, error) {
 	if opts.tee != "" && opts.watch == "" {
 		return serveOptions{}, errors.New("serve: -tee needs -watch (it snapshots reloaded epochs)")
 	}
+	if opts.shard != "" {
+		if _, _, err := parseShardSpec(opts.shard); err != nil {
+			return serveOptions{}, err
+		}
+		if opts.watch != "" {
+			return serveOptions{}, errors.New("serve: -shard cannot combine with -watch (shards reload by restarting; the gateway tracks epochs per shard)")
+		}
+	}
 	return opts, nil
+}
+
+// buildShardDB builds the in-memory database a sharded SQL backend
+// serves: the source file's entries, sliced by the same deterministic
+// year-range split the analysis shard uses, re-imported into a fresh
+// store. Dimension tables seed identically in every shard database, so
+// the gateway can merge /api/sqltable3 matrices per index; fact rows
+// are the shard's slice only, so concatenated /api/query row sets
+// reproduce the full table scan.
+func buildShardDB(dbPath, spec string) (*vulndb.DB, error) {
+	i, n, err := parseShardSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	src, err := vulndb.Open(dbPath)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := src.Entries()
+	if err != nil {
+		return nil, err
+	}
+	slice := corpus.ShardByYear(entries, i-1, n)
+	db, err := vulndb.Create()
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := db.LoadEntries(slice, classify.NewClassifier()); err != nil {
+		return nil, err
+	}
+	return db, nil
 }
 
 // sourceName describes the loaded corpus for the /corpus endpoint.
@@ -147,6 +204,17 @@ func runServe(cfg loadConfig, args []string) error {
 	if err != nil {
 		return err
 	}
+	if opts.shard != "" {
+		// The slice is taken over materialized entries; the streaming
+		// pipeline and snapshot boots never materialize them.
+		if cfg.stream {
+			return errors.New("serve: -shard cannot combine with -stream (sharding needs materialized entries)")
+		}
+		if cfg.snapshot != "" {
+			return errors.New("serve: -shard cannot combine with -snapshot (shard from feeds or a database)")
+		}
+		cfg.shard = opts.shard
+	}
 	engine := cfg.engine
 	if engine == "" {
 		engine = "bitset"
@@ -163,14 +231,23 @@ func runServe(cfg loadConfig, args []string) error {
 	}
 
 	mgr := epoch.NewManager(epoch.Config{Logf: log.Printf})
-	srv := server.NewResident(mgr, server.Config{
+	srvCfg := server.Config{
 		Source:       sourceName(cfg),
 		Engine:       engine,
 		Workers:      workers,
 		DBPath:       cfg.db,
 		MaxInFlight:  opts.maxInFlight,
 		MaxQueueWait: opts.maxQueueWait,
-	})
+		Shard:        opts.shard,
+	}
+	if opts.shard != "" && cfg.db != "" {
+		// A sharded SQL backend must answer /api/query and /api/sqltable3
+		// over its slice only; the full file would leak other shards'
+		// rows, so a fresh in-memory database over the sliced entries is
+		// injected instead of opening DBPath lazily.
+		srvCfg.DBPath = ""
+	}
+	srv := server.NewResident(mgr, srvCfg)
 
 	// reloadOnce is the single trigger all three reload paths share:
 	// glob the watch directory, then stream its feeds through ApplyDelta
@@ -224,8 +301,17 @@ func runServe(cfg loadConfig, args []string) error {
 			bootc <- fmt.Errorf("boot load: %w", err)
 			return
 		}
+		if opts.shard != "" && cfg.db != "" {
+			db, err := buildShardDB(cfg.db, opts.shard)
+			if err != nil {
+				bootc <- fmt.Errorf("boot shard db: %w", err)
+				return
+			}
+			srv.SetDatabase(db) // before Install: readiness gates on the epoch
+		}
 		ep := mgr.Install(a, sourceName(cfg))
-		log.Printf("corpus resident: epoch=%d source=%s valid=%d", ep.Seq, ep.Source, a.ValidCount())
+		log.Printf("corpus resident: epoch=%d source=%s valid=%d shard=%q",
+			ep.Seq, ep.Source, a.ValidCount(), opts.shard)
 	}()
 
 	if opts.watch != "" {

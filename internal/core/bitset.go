@@ -404,11 +404,11 @@ func (s *Study) classBitset() *classResult {
 			}
 		}
 	})
-	if idx.n > 0 {
-		for c := range idx.class {
-			res.shares[c] = 100 * float64(popcountWords(idx.class[c])) / float64(idx.n)
-		}
+	var counts [4]int
+	for c := range idx.class {
+		counts[c] = popcountWords(idx.class[c])
 	}
+	res.shares = ClassShares(counts, idx.n)
 	return res
 }
 

@@ -316,11 +316,7 @@ func (s *Study) classParallel() *classResult {
 			App:     agg.perOS[i][3],
 		})
 	}
-	if n := len(s.records); n > 0 {
-		for j := range agg.distinct {
-			res.shares[j] = 100 * float64(agg.distinct[j]) / float64(n)
-		}
-	}
+	res.shares = ClassShares(agg.distinct, len(s.records))
 	return res
 }
 

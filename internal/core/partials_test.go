@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"osdiversity/internal/corpus"
+	"osdiversity/internal/cve"
+	"osdiversity/internal/osmap"
+)
+
+// shardStudies slices the calibrated corpus into n year-range shards
+// and builds one Study per shard. Shards may be empty when n exceeds
+// the number of distinct publication years.
+func shardStudies(t *testing.T, entries []*cve.Entry, n int) []*Study {
+	t.Helper()
+	out := make([]*Study, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		slice := corpus.ShardByYear(entries, i, n)
+		total += len(slice)
+		out[i] = NewStudy(slice)
+	}
+	if total != len(entries) {
+		t.Fatalf("shards cover %d entries, corpus has %d", total, len(entries))
+	}
+	return out
+}
+
+// shardCounts are the slicings the merge contract must survive: uneven
+// chunking, one-year-per-shard, and more shards than years (so some
+// shards hold zero entries).
+func shardCounts(t *testing.T, entries []*cve.Entry) []int {
+	years := len(corpus.SplitByYear(entries))
+	if years < 3 {
+		t.Fatalf("calibrated corpus spans only %d years", years)
+	}
+	return []int{3, years, years + 4}
+}
+
+// TestMergeClassShares: Table II's distinct class counts are additive
+// across shards, and ClassShares over the sums reproduces the full
+// Study's shares exactly (same float expression, same inputs).
+func TestMergeClassShares(t *testing.T) {
+	full := paperStudy(t)
+	entries := calibratedEntries(t)
+	_, wantShares := full.ClassTable()
+	wantCounts, wantN := full.ClassDistinct()
+
+	for _, n := range shardCounts(t, entries) {
+		var counts [4]int
+		total := 0
+		for _, s := range shardStudies(t, entries, n) {
+			c, m := s.ClassDistinct()
+			for i := range counts {
+				counts[i] += c[i]
+			}
+			total += m
+		}
+		if counts != wantCounts || total != wantN {
+			t.Errorf("n=%d: merged distinct = %v/%d, full %v/%d", n, counts, total, wantCounts, wantN)
+		}
+		if got := ClassShares(counts, total); got != wantShares {
+			t.Errorf("n=%d: merged shares = %v, full %v", n, got, wantShares)
+		}
+	}
+}
+
+// TestMergeFilterReduction: the §IV-E(1) figure is a mean of per-pair
+// ratios, so it does NOT sum across shards — but the per-pair overlap
+// counts it is derived from do. FilterReductionFrom over shard-summed
+// pair columns must equal the full Study's float bit for bit.
+func TestMergeFilterReduction(t *testing.T) {
+	full := paperStudy(t)
+	entries := calibratedEntries(t)
+	pairs := full.Pairs()
+	want := full.FilterReduction(FatServer, IsolatedThinServer)
+
+	for _, n := range shardCounts(t, entries) {
+		from := make([]int, len(pairs))
+		to := make([]int, len(pairs))
+		for _, s := range shardStudies(t, entries, n) {
+			for i, p := range pairs {
+				from[i] += s.Overlap(p, FatServer)
+				to[i] += s.Overlap(p, IsolatedThinServer)
+			}
+		}
+		if got := FilterReductionFrom(from, to); got != want {
+			t.Errorf("n=%d: merged reduction = %v, full %v", n, got, want)
+		}
+		// Sanity: naive averaging of per-shard reductions is NOT the
+		// merge rule; it only coincides when every shard shares the mean.
+		if math.IsNaN(want) {
+			t.Fatalf("full reduction is NaN")
+		}
+	}
+}
+
+// TestMergeMostShared: any member of the global top n appears in its
+// own shard's top n (counts are per-entry and entries live in exactly
+// one shard), so merging per-shard prefixes reproduces the full order —
+// product count descending, CVE ID ascending on ties.
+func TestMergeMostShared(t *testing.T) {
+	full := paperStudy(t)
+	entries := calibratedEntries(t)
+	for _, topN := range []int{1, 3, 10} {
+		want := full.MostSharedCounts(topN)
+		for _, n := range shardCounts(t, entries) {
+			lists := make([][]SharedIDCount, 0, n)
+			for _, s := range shardStudies(t, entries, n) {
+				lists = append(lists, s.MostSharedCounts(topN))
+			}
+			got := MergeMostShared(lists, topN)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("top %d, n=%d: merged = %v, full %v", topN, n, got, want)
+			}
+		}
+	}
+}
+
+// TestMergeYearCounts: temporal series and k-wise cluster histograms
+// are per-year counts, additive across year-partitioned shards. An
+// empty shard contributes an empty map and must not perturb the merge.
+func TestMergeYearCounts(t *testing.T) {
+	full := paperStudy(t)
+	entries := calibratedEntries(t)
+	wantTemporal := full.TemporalSeries(osmap.Debian)
+	wantKWise := full.KWiseClusters(FatServer)
+
+	for _, n := range shardCounts(t, entries) {
+		temporal := make([]map[int]int, 0, n)
+		kwise := make([]map[int]int, 0, n)
+		for _, s := range shardStudies(t, entries, n) {
+			temporal = append(temporal, s.TemporalSeries(osmap.Debian))
+			kwise = append(kwise, s.KWiseClusters(FatServer))
+		}
+		if got := MergeYearCounts(temporal); !reflect.DeepEqual(got, wantTemporal) {
+			t.Errorf("n=%d: merged temporal = %v, full %v", n, got, wantTemporal)
+		}
+		if got := MergeYearCounts(kwise); !reflect.DeepEqual(got, wantKWise) {
+			t.Errorf("n=%d: merged kwise = %v, full %v", n, got, wantKWise)
+		}
+	}
+	if len(MergeYearCounts(nil)) != 0 {
+		t.Error("MergeYearCounts(nil) is non-empty")
+	}
+}
+
+// TestMergeRankSets: replica-set ranking from shard-summed window costs
+// equals the full Study's RankReplicaSets — same enumeration order,
+// same stable tie-breaks — for both strategies.
+func TestMergeRankSets(t *testing.T) {
+	full := paperStudy(t)
+	entries := calibratedEntries(t)
+	candidates := osmap.HistoryEligible()
+	win := SelectionWindow{ToYear: 2005}
+
+	for _, strategy := range []Strategy{MinPairSum, OnePerFamily} {
+		for _, k := range []int{1, 2, 4} {
+			want := full.RankReplicaSets(candidates, k, strategy, win)
+			for _, n := range shardCounts(t, entries) {
+				pairCosts := make(map[osmap.Pair]int)
+				singleCosts := make(map[osmap.Distro]int)
+				for _, s := range shardStudies(t, entries, n) {
+					for _, p := range osmap.PairsOf(candidates) {
+						pairCosts[p] += s.PairSharedInWindow(p, win)
+					}
+					for _, d := range candidates {
+						singleCosts[d] += s.SetCost([]osmap.Distro{d}, win)
+					}
+				}
+				got := RankSetsFromCosts(candidates, k, strategy,
+					func(p osmap.Pair) int { return pairCosts[p] },
+					func(d osmap.Distro) int { return singleCosts[d] })
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("strategy=%v k=%d n=%d: merged ranking diverges from full Study", strategy, k, n)
+				}
+			}
+		}
+	}
+}
+
+// calibratedEntries returns the calibrated entry set the shared
+// paperStudy was built from.
+func calibratedEntries(t *testing.T) []*cve.Entry {
+	t.Helper()
+	c, err := corpus.Generate()
+	if err != nil {
+		t.Fatalf("corpus.Generate: %v", err)
+	}
+	return c.Entries
+}

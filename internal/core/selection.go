@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"osdiversity/internal/osmap"
 )
@@ -166,27 +165,9 @@ func (s *Study) SetCost(members []osmap.Distro, w SelectionWindow) int {
 // ranks them by window cost ascending (ties broken by presentation
 // order). OnePerFamily drops sets with two members from one family.
 func (s *Study) RankReplicaSets(candidates []osmap.Distro, k int, strategy Strategy, w SelectionWindow) []RankedSet {
-	var out []RankedSet
-	subset := make([]osmap.Distro, 0, k)
-	var recurse func(start int)
-	recurse = func(start int) {
-		if len(subset) == k {
-			if strategy == OnePerFamily && !onePerFamily(subset) {
-				return
-			}
-			members := append([]osmap.Distro(nil), subset...)
-			out = append(out, RankedSet{Members: members, Cost: s.SetCost(members, w)})
-			return
-		}
-		for i := start; i < len(candidates); i++ {
-			subset = append(subset, candidates[i])
-			recurse(i + 1)
-			subset = subset[:len(subset)-1]
-		}
-	}
-	recurse(0)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
-	return out
+	return RankSetsFromCosts(candidates, k, strategy,
+		func(p osmap.Pair) int { return s.PairSharedInWindow(p, w) },
+		func(d osmap.Distro) int { return s.SetCost([]osmap.Distro{d}, w) })
 }
 
 func onePerFamily(members []osmap.Distro) bool {

@@ -435,17 +435,8 @@ func (s *Study) classSerial() *classResult {
 		}
 		res.rows = append(res.rows, row)
 	}
-	var counts [4]int
-	for i := range s.records {
-		if ci := classIdx(s.records[i].class); ci >= 0 {
-			counts[ci]++
-		}
-	}
-	if n := len(s.records); n > 0 {
-		for i := range counts {
-			res.shares[i] = 100 * float64(counts[i]) / float64(n)
-		}
-	}
+	counts, n := s.ClassDistinct()
+	res.shares = ClassShares(counts, n)
 	return res
 }
 
@@ -812,22 +803,7 @@ func (s *Study) entryAt(i int) *cve.Entry {
 // pairwise overlap going from one profile to another, over pairs with a
 // non-zero baseline.
 func (s *Study) FilterReduction(from, to Profile) float64 {
-	fromCounts := s.pairCounts(from)
-	toCounts := s.pairCounts(to)
-	var sum float64
-	n := 0
-	for i := range s.pairs {
-		base := fromCounts[i]
-		if base == 0 {
-			continue
-		}
-		sum += float64(base-toCounts[i]) / float64(base)
-		n++
-	}
-	if n == 0 {
-		return 0
-	}
-	return 100 * sum / float64(n)
+	return FilterReductionFrom(s.pairCounts(from), s.pairCounts(to))
 }
 
 // ReleaseOverlap counts valid Isolated-Thin-Server vulnerabilities that

@@ -36,3 +36,24 @@ func SplitByYear(entries []*cve.Entry) []YearGroup {
 	}
 	return out
 }
+
+// ShardByYear returns shard i of n (0-based) of the corpus: a
+// contiguous chunk of SplitByYear's ascending year groups, flattened in
+// feed order (years ascending, ID-sorted within each year). The chunks
+// partition the entries — every entry belongs to exactly one shard — so
+// additive aggregates computed per shard merge to the full corpus. The
+// split is deterministic in the entry set alone, letting N processes
+// slice the same corpus independently and agree on ownership.
+func ShardByYear(entries []*cve.Entry, i, n int) []*cve.Entry {
+	if n <= 1 {
+		return entries
+	}
+	groups := SplitByYear(entries)
+	lo := i * len(groups) / n
+	hi := (i + 1) * len(groups) / n
+	var out []*cve.Entry
+	for _, g := range groups[lo:hi] {
+		out = append(out, g.Entries...)
+	}
+	return out
+}

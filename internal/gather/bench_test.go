@@ -1,0 +1,52 @@
+package gather_test
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"osdiversity/internal/gather"
+)
+
+// BenchmarkGatewayTable3Concurrent is the scale-out tier's load proof:
+// many clients hammering the heaviest table endpoint through a gateway
+// over two shards. The first request scatters and merges; everything
+// after is epoch-checked cache service, so the number approximates the
+// gateway's sustained per-request overhead (probe freshness check +
+// cached-body write) relative to BenchmarkServerTable3Concurrent.
+func BenchmarkGatewayTable3Concurrent(b *testing.B) {
+	backends := newShardBackends(b, 2, 2)
+	_, gwts := newGateway(b, gather.Config{
+		Backends:        backends,
+		RevalidateAfter: 100 * time.Millisecond,
+	})
+	url := gwts.URL + "/api/table3"
+	client := gwts.Client()
+
+	// Warm the probe and the merged-response cache outside the timer.
+	resp, err := client.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || n == 0 {
+		b.Fatalf("warm GET: status %d, %d bytes", resp.StatusCode, n)
+	}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
+}

@@ -1,0 +1,586 @@
+// Package gather is the scatter-gather front-end of the scale-out tier:
+// `osdiv gateway -backends a,b,c` answers the same /api surface as one
+// resident server by fanning every query out to N shard backends (each
+// an `osdiv serve -shard i/N` owning a year-range slice of the corpus),
+// merging their typed partial aggregates, and finalizing with the exact
+// single-process arithmetic from internal/core — so a gateway over any
+// shard count answers byte-identically to one server over the whole
+// corpus.
+//
+// The merge rules exploit that the year-range shards partition the
+// corpus (every vulnerability lives in exactly one shard):
+//
+//   - raw counts add: Table I/III rows, Table V cells, temporal series,
+//     k-wise buckets, release overlaps and the SQL Table III matrix
+//     merge by per-index sums of the regular endpoint documents;
+//   - derived figures finalize from shard-summed raw halves served by
+//     the /api/partial/* endpoints: Table II shares (core.ClassShares),
+//     Table IV's filtered/sorted rows, Table III's filter-reduction
+//     float (core.FilterReductionFrom over the merged pair columns),
+//     the most-shared order (core.MergeMostShared over per-shard
+//     prefixes) and §IV-C set ranking (core.RankSetsFromCosts over
+//     summed cost vectors);
+//   - /api/query scatters the POST to every shard and concatenates row
+//     sets in shard order — legal only for plain SELECTs, so grouped,
+//     aggregated, deduplicated, ordered or limited statements answer
+//     501 unsupported_on_gateway;
+//   - /api/attack and /admin/reload are not mergeable (the Monte Carlo
+//     is corpus-global; shards reload individually) and answer 501.
+//
+// Consistency across shards is epoch-vector based. Every request first
+// resolves the per-shard epoch vector (a coalesced /readyz probe,
+// cached for Config.RevalidateAfter); responses carry the joined
+// vector in X-Osdiv-Epoch; the merged-response cache is keyed by it
+// and flushes whenever any shard swaps; and each scattered leg's
+// X-Osdiv-Epoch is checked against the resolved vector — a shard that
+// hot-reloaded mid-request answers 503 epoch_skew rather than letting
+// one merged document mix corpus generations.
+//
+// Degradation is typed, like the server's: an unreachable backend is
+// 503 shard_unavailable naming the backend; a shard's own error
+// envelope (bad_param, overloaded, not_ready, no_database, ...)
+// forwards verbatim so gateway and single-server clients see the same
+// errors; a structurally inconsistent shard set (different universes,
+// row orders) is 502 shard_mismatch. In front of it all sit the same
+// singleflight coalescing, bounded response cache and
+// inflight/queue-wait shedding the resident server uses.
+package gather
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"osdiversity/internal/httpapi"
+)
+
+// Config describes the backend set and the gateway's execution limits.
+type Config struct {
+	// Backends are the shard base URLs in shard order
+	// ("http://host:port"); the gateway's merge indexes legs by this
+	// order, so it must match the -shard numbering.
+	Backends []string
+	// Timeout bounds each scattered request attempt; 0 selects 30s.
+	Timeout time.Duration
+	// Retry bounds per-leg GET retries on transient failures; the zero
+	// value selects 3 attempts with the client's default backoff.
+	Retry httpapi.RetryPolicy
+	// MaxInFlight bounds concurrently executing merged computations; 0
+	// selects 2x the backend count.
+	MaxInFlight int
+	// CacheLimit bounds the merged-response cache entry count; 0
+	// selects 1024.
+	CacheLimit int
+	// MaxQueueWait bounds how long a request may wait for a compute
+	// slot before being shed with 503 + Retry-After; 0 selects 5s.
+	MaxQueueWait time.Duration
+	// RevalidateAfter is how long a resolved epoch vector stays fresh
+	// before the next request re-probes /readyz across the shards; 0
+	// selects 100ms, negative probes on every request (tests use -1 to
+	// observe a shard reload immediately).
+	RevalidateAfter time.Duration
+
+	// HTTP overrides the transport on every backend client (httptest
+	// servers pass their own).
+	HTTP *http.Client
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Retry.Attempts <= 0 {
+		cfg.Retry.Attempts = 3
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2 * len(cfg.Backends)
+		if cfg.MaxInFlight < 1 {
+			cfg.MaxInFlight = 1
+		}
+	}
+	if cfg.CacheLimit <= 0 {
+		cfg.CacheLimit = 1024
+	}
+	if cfg.MaxQueueWait <= 0 {
+		cfg.MaxQueueWait = 5 * time.Second
+	}
+	if cfg.RevalidateAfter == 0 {
+		cfg.RevalidateAfter = 100 * time.Millisecond
+	}
+	return cfg
+}
+
+// Gateway scatters, merges and caches. Construct with New.
+type Gateway struct {
+	cfg Config
+	mc  *httpapi.MultiClient
+
+	limiter chan struct{}
+
+	mu       sync.Mutex
+	calls    map[string]*call
+	cache    map[string][]byte
+	cacheVec string
+
+	// Coalesced epoch-vector probe state.
+	probeMu   sync.Mutex
+	probing   chan struct{}
+	lastProbe *probeResult
+	probedAt  time.Time
+
+	// Per-vector merged corpus metadata (global year range, summed
+	// valid count) behind parameter canonicalization and /corpus.
+	metaMu sync.Mutex
+	meta   *shardMeta
+
+	computes atomic.Int64
+}
+
+// call is one in-flight merged computation; large /api/query results
+// keep the document for streaming instead of a cacheable body.
+type call struct {
+	done chan struct{}
+	body []byte
+	doc  *httpapi.QueryResult
+	err  *gwError
+}
+
+// gwError is a gateway failure destined for the JSON error envelope —
+// the same wire shape the shards answer.
+type gwError struct {
+	status     int
+	code       string
+	message    string
+	retryAfter int
+}
+
+func errBadParam(msg string) *gwError {
+	return &gwError{status: http.StatusBadRequest, code: "bad_param", message: msg}
+}
+
+func errOverloaded() *gwError {
+	return &gwError{status: http.StatusServiceUnavailable, code: "overloaded",
+		message: "all compute slots busy; retry shortly", retryAfter: 1}
+}
+
+func errUnsupported(what string) *gwError {
+	return &gwError{status: http.StatusNotImplemented, code: "unsupported_on_gateway",
+		message: what}
+}
+
+// legError maps one scattered leg's failure: a shard's own error
+// envelope forwards verbatim (same status, code and message a
+// single-server client would see), a transport failure becomes 503
+// shard_unavailable naming the backend.
+func legError(backend string, err error) *gwError {
+	var he *httpapi.Error
+	if errors.As(err, &he) {
+		retry := 0
+		if he.StatusCode == http.StatusServiceUnavailable {
+			retry = 1
+		}
+		return &gwError{status: he.StatusCode, code: he.Code, message: he.Message, retryAfter: retry}
+	}
+	return &gwError{status: http.StatusServiceUnavailable, code: "shard_unavailable",
+		message: fmt.Sprintf("backend %s unreachable: %v", backend, err), retryAfter: 1}
+}
+
+// errMismatch is the structurally-inconsistent-shard-set failure: the
+// backends disagree about universe, row order or columns, which no
+// retry fixes — the deployment is misconfigured.
+func errMismatch(msg string) *gwError {
+	return &gwError{status: http.StatusBadGateway, code: "shard_mismatch", message: msg}
+}
+
+func errSkew(backend, got, want string) *gwError {
+	return &gwError{status: http.StatusServiceUnavailable, code: "epoch_skew",
+		message: fmt.Sprintf("backend %s answered epoch %s, resolved vector expected %s; retry shortly",
+			backend, got, want), retryAfter: 1}
+}
+
+// New builds a gateway over the configured backend set.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("gather: no backends configured")
+	}
+	cfg = cfg.withDefaults()
+	mc := httpapi.NewMultiClient(cfg.Backends, cfg.Timeout, cfg.Retry)
+	for _, c := range mc.Clients {
+		c.HTTP = cfg.HTTP
+	}
+	return &Gateway{
+		cfg:     cfg,
+		mc:      mc,
+		limiter: make(chan struct{}, cfg.MaxInFlight),
+		calls:   make(map[string]*call),
+		cache:   make(map[string][]byte),
+	}, nil
+}
+
+// Computes reports how many merged bodies the gateway has computed
+// (cache misses that scattered). The coalescing tests assert N
+// concurrent identical cold requests add exactly one.
+func (g *Gateway) Computes() int64 { return g.computes.Load() }
+
+// Handler returns the HTTP handler serving the gateway API.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", g.get(g.handleHealth))
+	mux.HandleFunc("/readyz", g.get(g.handleReady))
+	mux.HandleFunc("/corpus", g.get(g.handleCorpus))
+	mux.HandleFunc("/admin/reload", g.post(g.handleReload))
+	mux.HandleFunc("/api/table1", g.get(g.handleTable1))
+	mux.HandleFunc("/api/table2", g.get(g.handleTable2))
+	mux.HandleFunc("/api/table3", g.get(g.handleTable3))
+	mux.HandleFunc("/api/table4", g.get(g.handleTable4))
+	mux.HandleFunc("/api/table5", g.get(g.handleTable5))
+	mux.HandleFunc("/api/temporal", g.get(g.handleTemporal))
+	mux.HandleFunc("/api/kwise", g.get(g.handleKWise))
+	mux.HandleFunc("/api/mostshared", g.get(g.handleMostShared))
+	mux.HandleFunc("/api/select", g.get(g.handleSelect))
+	mux.HandleFunc("/api/releases", g.get(g.handleReleases))
+	mux.HandleFunc("/api/attack", g.get(g.handleAttack))
+	mux.HandleFunc("/api/sqltable3", g.get(g.handleSQLTable3))
+	mux.HandleFunc("/api/query", g.post(g.handleQuery))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, &gwError{status: http.StatusNotFound, code: "not_found",
+			message: "unknown endpoint " + r.URL.Path})
+	})
+	return mux
+}
+
+func (g *Gateway) get(h http.HandlerFunc) http.HandlerFunc {
+	return g.method(http.MethodGet, h)
+}
+
+func (g *Gateway) post(h http.HandlerFunc) http.HandlerFunc {
+	return g.method(http.MethodPost, h)
+}
+
+func (g *Gateway) method(want string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != want {
+			w.Header().Set("Allow", want)
+			writeError(w, &gwError{status: http.StatusMethodNotAllowed,
+				code: "method_not_allowed", message: r.Method + " not allowed; use " + want})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// writeError emits the JSON error envelope.
+func writeError(w http.ResponseWriter, e *gwError) {
+	body, err := httpapi.Marshal(httpapi.ErrorEnvelope{
+		Error: httpapi.ErrorBody{Code: e.code, Message: e.message},
+	})
+	if err != nil {
+		http.Error(w, e.message, e.status)
+		return
+	}
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.status)
+	w.Write(body)
+}
+
+func writeBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (g *Gateway) respondDirect(w http.ResponseWriter, doc any) {
+	body, err := httpapi.Marshal(doc)
+	if err != nil {
+		writeError(w, &gwError{status: http.StatusInternalServerError,
+			code: "encode_failed", message: err.Error()})
+		return
+	}
+	writeBody(w, body)
+}
+
+// probeResult is one resolved epoch vector: per-shard epochs in
+// backend order and their join (the cache generation and the
+// X-Osdiv-Epoch the gateway answers with). err is set when any shard
+// was unreachable or not ready — the vector is unusable then.
+type probeResult struct {
+	epochs []string
+	vec    string
+	shards []httpapi.ShardStatus
+	err    *gwError
+}
+
+// resolve returns the current epoch vector, probing /readyz across the
+// backends at most once per RevalidateAfter window and coalescing
+// concurrent probes into one scatter.
+func (g *Gateway) resolve() *probeResult {
+	for {
+		g.probeMu.Lock()
+		if g.lastProbe != nil && g.cfg.RevalidateAfter > 0 &&
+			time.Since(g.probedAt) < g.cfg.RevalidateAfter {
+			pr := g.lastProbe
+			g.probeMu.Unlock()
+			return pr
+		}
+		if ch := g.probing; ch != nil {
+			g.probeMu.Unlock()
+			<-ch
+			g.probeMu.Lock()
+			pr := g.lastProbe
+			g.probeMu.Unlock()
+			return pr
+		}
+		ch := make(chan struct{})
+		g.probing = ch
+		g.probeMu.Unlock()
+
+		pr := g.doProbe()
+
+		g.probeMu.Lock()
+		g.lastProbe, g.probedAt, g.probing = pr, time.Now(), nil
+		g.probeMu.Unlock()
+		close(ch)
+		return pr
+	}
+}
+
+func (g *Gateway) doProbe() *probeResult {
+	legs := g.mc.Scatter(context.Background(), "/readyz", nil)
+	pr := &probeResult{
+		epochs: make([]string, len(legs)),
+		shards: make([]httpapi.ShardStatus, len(legs)),
+	}
+	for i, leg := range legs {
+		st := httpapi.ShardStatus{Backend: leg.Backend}
+		if leg.Err != nil {
+			st.Status = "unreachable"
+			st.Error = leg.Err.Error()
+			var he *httpapi.Error
+			if errors.As(leg.Err, &he) {
+				st.Status = he.Code
+			}
+			if pr.err == nil {
+				pr.err = legError(leg.Backend, leg.Err)
+			}
+		} else {
+			var ready httpapi.Ready
+			if derr := unmarshalLeg(leg.Body, &ready); derr != nil {
+				st.Status = "malformed"
+				st.Error = derr.Error()
+				if pr.err == nil {
+					pr.err = errMismatch(fmt.Sprintf("backend %s: malformed /readyz: %v", leg.Backend, derr))
+				}
+			} else {
+				st.Status = ready.Status
+				st.Epoch = ready.Epoch
+				pr.epochs[i] = strconv.FormatUint(ready.Epoch, 10)
+			}
+		}
+		pr.shards[i] = st
+	}
+	pr.vec = strings.Join(pr.epochs, ",")
+	return pr
+}
+
+// shardMeta is the merged corpus identity of one epoch vector: the
+// union year range over non-empty shards, the summed valid count, and
+// each backend's /corpus document (for the gateway /corpus view).
+type shardMeta struct {
+	vec    string
+	yearLo int
+	yearHi int
+	valid  int
+	corpus []httpapi.CorpusInfo
+}
+
+// metaFor returns the merged corpus metadata for a resolved vector,
+// scattering /corpus once per vector change.
+func (g *Gateway) metaFor(pr *probeResult) (*shardMeta, *gwError) {
+	g.metaMu.Lock()
+	if m := g.meta; m != nil && m.vec == pr.vec {
+		g.metaMu.Unlock()
+		return m, nil
+	}
+	g.metaMu.Unlock()
+
+	legs := g.mc.Scatter(context.Background(), "/corpus", nil)
+	m := &shardMeta{vec: pr.vec, corpus: make([]httpapi.CorpusInfo, len(legs))}
+	for i, leg := range legs {
+		if leg.Err != nil {
+			return nil, legError(leg.Backend, leg.Err)
+		}
+		if leg.Epoch != pr.epochs[i] {
+			return nil, errSkew(leg.Backend, leg.Epoch, pr.epochs[i])
+		}
+		var info httpapi.CorpusInfo
+		if derr := unmarshalLeg(leg.Body, &info); derr != nil {
+			return nil, errMismatch(fmt.Sprintf("backend %s: malformed /corpus: %v", leg.Backend, derr))
+		}
+		m.corpus[i] = info
+		m.valid += info.ValidEntries
+		if info.ValidEntries > 0 {
+			if m.yearLo == 0 || info.YearFrom < m.yearLo {
+				m.yearLo = info.YearFrom
+			}
+			if info.YearTo > m.yearHi {
+				m.yearHi = info.YearTo
+			}
+		}
+	}
+
+	g.metaMu.Lock()
+	if g.meta == nil || g.meta.vec != pr.vec {
+		g.meta = m
+	}
+	g.metaMu.Unlock()
+	return m, nil
+}
+
+// start resolves the epoch vector for one request, writes the
+// X-Osdiv-Epoch header, and maps a degraded shard set to its typed
+// envelope. Every handler calls it exactly once at entry.
+func (g *Gateway) start(w http.ResponseWriter) (*probeResult, bool) {
+	pr := g.resolve()
+	if pr.err != nil {
+		writeError(w, pr.err)
+		return nil, false
+	}
+	w.Header().Set("X-Osdiv-Epoch", pr.vec)
+	return pr, true
+}
+
+// respond serves one merged endpoint: vector-keyed cache lookup, then
+// singleflight coalescing, then the bounded scatter+merge path. Mirrors
+// the server's respond, with the epoch vector as the generation: any
+// shard swapping flushes everything (vectors are not ordered, so the
+// prune is change-triggered rather than forward-only).
+func (g *Gateway) respond(w http.ResponseWriter, pr *probeResult, key string, build func() (any, *gwError)) {
+	key = "v" + pr.vec + "|" + key
+
+	g.mu.Lock()
+	g.pruneForVecLocked(pr.vec)
+	if body, ok := g.cache[key]; ok {
+		g.mu.Unlock()
+		writeBody(w, body)
+		return
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			writeError(w, c.err)
+			return
+		}
+		writeBody(w, c.body)
+		return
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = &gwError{status: http.StatusInternalServerError,
+					code: "internal_panic", message: fmt.Sprint(r)}
+			}
+			g.mu.Lock()
+			delete(g.calls, key)
+			if c.err == nil && g.cacheVec == pr.vec {
+				g.storeLocked(key, c.body)
+			}
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.body, c.err = g.compute(build)
+	}()
+
+	if c.err != nil {
+		writeError(w, c.err)
+		return
+	}
+	writeBody(w, c.body)
+}
+
+func (g *Gateway) compute(build func() (any, *gwError)) ([]byte, *gwError) {
+	if aerr := g.acquire(); aerr != nil {
+		return nil, aerr
+	}
+	defer g.release()
+	g.computes.Add(1)
+	doc, aerr := build()
+	if aerr != nil {
+		return nil, aerr
+	}
+	body, err := httpapi.Marshal(doc)
+	if err != nil {
+		return nil, &gwError{status: http.StatusInternalServerError,
+			code: "encode_failed", message: err.Error()}
+	}
+	return body, nil
+}
+
+func (g *Gateway) acquire() *gwError {
+	select {
+	case g.limiter <- struct{}{}:
+		return nil
+	default:
+	}
+	t := time.NewTimer(g.cfg.MaxQueueWait)
+	defer t.Stop()
+	select {
+	case g.limiter <- struct{}{}:
+		return nil
+	case <-t.C:
+		return errOverloaded()
+	}
+}
+
+func (g *Gateway) release() { <-g.limiter }
+
+func (g *Gateway) pruneForVecLocked(vec string) {
+	if g.cacheVec == vec {
+		return
+	}
+	g.cacheVec = vec
+	g.cache = make(map[string][]byte)
+}
+
+func (g *Gateway) storeLocked(key string, body []byte) {
+	if len(g.cache) >= g.cfg.CacheLimit {
+		for k := range g.cache {
+			delete(g.cache, k)
+			break
+		}
+	}
+	g.cache[key] = body
+}
+
+// scatter fans one GET out to every backend and settles the legs: any
+// leg error maps through legError, and every leg's epoch header must
+// match the resolved vector (a shard reloading between probe and
+// scatter answers epoch_skew rather than mixing generations into one
+// merged document). Returns the raw bodies in backend order.
+func (g *Gateway) scatter(pr *probeResult, path string, query url.Values) ([][]byte, *gwError) {
+	legs := g.mc.Scatter(context.Background(), path, query)
+	bodies := make([][]byte, len(legs))
+	for i, leg := range legs {
+		if leg.Err != nil {
+			return nil, legError(leg.Backend, leg.Err)
+		}
+		if leg.Epoch != pr.epochs[i] {
+			return nil, errSkew(leg.Backend, leg.Epoch, pr.epochs[i])
+		}
+		bodies[i] = leg.Body
+	}
+	return bodies, nil
+}

@@ -1,0 +1,211 @@
+package gather
+
+// Gateway /api/query: scatter one SELECT to every shard database and
+// concatenate the row sets in shard order. The shard databases are
+// row-partitions of the full import (each vulnerability's facts live in
+// exactly one shard; dimension tables are seeded identically), so plain
+// SELECT output — a filtered projection of rows in scan order — is the
+// concatenation of the per-shard outputs. Statements whose result is
+// NOT a per-row function of the partition (DISTINCT, GROUP BY, HAVING,
+// aggregates, ORDER BY, LIMIT) answer 501 unsupported_on_gateway: run
+// them against an unsharded server, or pushed down per shard via a
+// direct backend query.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"osdiversity/internal/httpapi"
+	"osdiversity/internal/relstore"
+)
+
+// gatewayQueryStreamRows mirrors the server's streaming threshold: a
+// merged result larger than this streams row by row and bypasses the
+// response cache. A var so tests can lower it.
+var gatewayQueryStreamRows = 4096
+
+// queryMaxBody bounds the request document, like the server's.
+const queryMaxBody = 1 << 20
+
+// checkGatewayQuery enforces the merge-safety rules over a parsed
+// statement. It returns the reason the statement cannot scatter, or ""
+// when it can.
+func checkGatewayQuery(stmt relstore.Statement) (string, *gwError) {
+	sel, ok := stmt.(*relstore.SelectStmt)
+	if !ok {
+		// Same envelope as the single server: the statement class is the
+		// problem, not the gateway.
+		return "", &gwError{status: http.StatusBadRequest, code: "unsupported_statement",
+			message: "only SELECT statements are served; data and schema changes go through import"}
+	}
+	switch {
+	case sel.Distinct:
+		return "SELECT DISTINCT", nil
+	case len(sel.GroupBy) > 0:
+		return "GROUP BY", nil
+	case sel.Having != nil:
+		return "HAVING", nil
+	case len(sel.OrderBy) > 0:
+		return "ORDER BY", nil
+	case sel.Limit >= 0:
+		return "LIMIT", nil
+	case sel.HasAggregates():
+		return "aggregate functions", nil
+	}
+	return "", nil
+}
+
+func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	pr, ok := g.start(w)
+	if !ok {
+		return
+	}
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, queryMaxBody))
+	dec.UseNumber()
+	var req httpapi.QueryRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, &gwError{status: http.StatusBadRequest, code: "bad_body",
+			message: "request body is not a QueryRequest document: " + err.Error()})
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, &gwError{status: http.StatusBadRequest, code: "bad_query",
+			message: "missing required field sql"})
+		return
+	}
+	stmt, err := relstore.Parse(req.SQL)
+	if err != nil {
+		writeError(w, &gwError{status: http.StatusBadRequest, code: "bad_query",
+			message: err.Error()})
+		return
+	}
+	if feature, gerr := checkGatewayQuery(stmt); gerr != nil {
+		writeError(w, gerr)
+		return
+	} else if feature != "" {
+		writeError(w, errUnsupported(feature+
+			" does not merge across row-partitioned shards; query an unsharded server or each backend directly"))
+		return
+	}
+	argsKey, err := json.Marshal(req.Args)
+	if err != nil {
+		writeError(w, errBadParam(err.Error()))
+		return
+	}
+	g.respondQuery(w, pr, "query|"+req.SQL+"|"+string(argsKey), req)
+}
+
+// respondQuery is respond() with /api/query's streaming exit: merged
+// results above gatewayQueryStreamRows keep the document and stream,
+// bypassing the cache; coalesced waiters encode the shared immutable
+// document themselves.
+func (g *Gateway) respondQuery(w http.ResponseWriter, pr *probeResult, key string, req httpapi.QueryRequest) {
+	key = "v" + pr.vec + "|" + key
+
+	g.mu.Lock()
+	g.pruneForVecLocked(pr.vec)
+	if body, ok := g.cache[key]; ok {
+		g.mu.Unlock()
+		writeBody(w, body)
+		return
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		writeQueryOutcome(w, c)
+		return
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = &gwError{status: http.StatusInternalServerError,
+					code: "internal_panic", message: fmt.Sprint(r)}
+			}
+			g.mu.Lock()
+			delete(g.calls, key)
+			if c.err == nil && c.body != nil && g.cacheVec == pr.vec {
+				g.storeLocked(key, c.body)
+			}
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.body, c.doc, c.err = g.computeQuery(pr, req)
+	}()
+
+	writeQueryOutcome(w, c)
+}
+
+func (g *Gateway) computeQuery(pr *probeResult, req httpapi.QueryRequest) ([]byte, *httpapi.QueryResult, *gwError) {
+	if aerr := g.acquire(); aerr != nil {
+		return nil, nil, aerr
+	}
+	defer g.release()
+	g.computes.Add(1)
+
+	legs := g.mc.ScatterPost(context.Background(), "/api/query", req)
+	merged := &httpapi.QueryResult{Columns: []string{}, Rows: [][]any{}}
+	for i, leg := range legs {
+		if leg.Err != nil {
+			return nil, nil, legError(leg.Backend, leg.Err)
+		}
+		if leg.Epoch != pr.epochs[i] {
+			return nil, nil, errSkew(leg.Backend, leg.Epoch, pr.epochs[i])
+		}
+		var doc httpapi.QueryResult
+		if derr := unmarshalLeg(leg.Body, &doc); derr != nil {
+			return nil, nil, errMismatch(fmt.Sprintf("backend %s: malformed /api/query document: %v",
+				leg.Backend, derr))
+		}
+		if i == 0 {
+			if doc.Columns != nil {
+				merged.Columns = doc.Columns
+			}
+		} else if !equalColumns(merged.Columns, doc.Columns) {
+			return nil, nil, errMismatch(fmt.Sprintf(
+				"backend %s: query columns %v, expected %v", leg.Backend, doc.Columns, merged.Columns))
+		}
+		merged.Rows = append(merged.Rows, doc.Rows...)
+		merged.N += doc.N
+	}
+	if merged.N > gatewayQueryStreamRows {
+		return nil, merged, nil
+	}
+	body, merr := httpapi.Marshal(merged)
+	if merr != nil {
+		return nil, nil, &gwError{status: http.StatusInternalServerError,
+			code: "encode_failed", message: merr.Error()}
+	}
+	return body, nil, nil
+}
+
+func equalColumns(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func writeQueryOutcome(w http.ResponseWriter, c *call) {
+	switch {
+	case c.err != nil:
+		writeError(w, c.err)
+	case c.body != nil:
+		writeBody(w, c.body)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		httpapi.StreamQueryResult(w, c.doc)
+	}
+}

@@ -133,9 +133,31 @@ func (c *Client) url(path string, query url.Values) string {
 	return u
 }
 
+// readResponse drains one response, returning the 200 body and the
+// X-Osdiv-Epoch header; a non-200 decodes its error envelope into
+// *Error (the epoch still returns, when the server sent one).
+func readResponse(resp *http.Response) ([]byte, string, error) {
+	defer resp.Body.Close()
+	epoch := resp.Header.Get("X-Osdiv-Epoch")
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, epoch, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var env ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+			return nil, epoch, &Error{StatusCode: resp.StatusCode, Code: "malformed_error",
+				Message: string(body)}
+		}
+		return nil, epoch, &Error{StatusCode: resp.StatusCode, Code: env.Error.Code,
+			Message: env.Error.Message}
+	}
+	return body, epoch, nil
+}
+
 // attempt runs one HTTP request and decodes the error envelope of a
 // non-200 response into *Error.
-func (c *Client) attempt(ctx context.Context, method, u string) ([]byte, error) {
+func (c *Client) attempt(ctx context.Context, method, u string) ([]byte, string, error) {
 	if c.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
@@ -143,27 +165,13 @@ func (c *Client) attempt(ctx context.Context, method, u string) ([]byte, error) 
 	}
 	req, err := http.NewRequestWithContext(ctx, method, u, nil)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		var env ErrorEnvelope
-		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
-			return nil, &Error{StatusCode: resp.StatusCode, Code: "malformed_error",
-				Message: string(body)}
-		}
-		return nil, &Error{StatusCode: resp.StatusCode, Code: env.Error.Code,
-			Message: env.Error.Message}
-	}
-	return body, nil
+	return readResponse(resp)
 }
 
 // GetRaw fetches a path (with optional query) and returns the raw body
@@ -176,20 +184,28 @@ func (c *Client) GetRaw(path string, query url.Values) ([]byte, error) {
 // GetRawContext is GetRaw under a caller context; the context spans the
 // whole retry loop, the per-attempt Timeout each attempt.
 func (c *Client) GetRawContext(ctx context.Context, path string, query url.Values) ([]byte, error) {
+	body, _, err := c.GetRawEpochContext(ctx, path, query)
+	return body, err
+}
+
+// GetRawEpochContext is GetRawContext returning the X-Osdiv-Epoch
+// header alongside the body — the gateway verifies every scattered
+// leg's epoch against the resolved shard vector.
+func (c *Client) GetRawEpochContext(ctx context.Context, path string, query url.Values) ([]byte, string, error) {
 	u := c.url(path, query)
 	retry := c.Retry.withDefaults()
 	delay := retry.BaseDelay
 	for attempt := 1; ; attempt++ {
-		body, err := c.attempt(ctx, http.MethodGet, u)
+		body, epoch, err := c.attempt(ctx, http.MethodGet, u)
 		if err == nil {
-			return body, nil
+			return body, epoch, nil
 		}
 		if attempt >= retry.Attempts || !transientFailure(err) || ctx.Err() != nil {
-			return nil, err
+			return nil, epoch, err
 		}
 		select {
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, epoch, ctx.Err()
 		default:
 		}
 		c.sleepFn()(clientJitter(delay))
@@ -208,7 +224,8 @@ func (c *Client) PostRaw(path string, query url.Values) ([]byte, error) {
 
 // PostRawContext is PostRaw under a caller context.
 func (c *Client) PostRawContext(ctx context.Context, path string, query url.Values) ([]byte, error) {
-	return c.attempt(ctx, http.MethodPost, c.url(path, query))
+	body, _, err := c.attempt(ctx, http.MethodPost, c.url(path, query))
+	return body, err
 }
 
 // PostJSON POSTs a JSON-encoded body and returns the raw 200 body.
@@ -219,9 +236,16 @@ func (c *Client) PostJSON(path string, body any) ([]byte, error) {
 
 // PostJSONContext is PostJSON under a caller context.
 func (c *Client) PostJSONContext(ctx context.Context, path string, body any) ([]byte, error) {
+	raw, _, err := c.PostJSONEpochContext(ctx, path, body)
+	return raw, err
+}
+
+// PostJSONEpochContext is PostJSONContext returning the X-Osdiv-Epoch
+// header alongside the body.
+func (c *Client) PostJSONEpochContext(ctx context.Context, path string, body any) ([]byte, string, error) {
 	payload, err := json.Marshal(body)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if c.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -230,28 +254,14 @@ func (c *Client) PostJSONContext(ctx context.Context, path string, body any) ([]
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path, nil), bytes.NewReader(payload))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		var env ErrorEnvelope
-		if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code == "" {
-			return nil, &Error{StatusCode: resp.StatusCode, Code: "malformed_error",
-				Message: string(raw)}
-		}
-		return nil, &Error{StatusCode: resp.StatusCode, Code: env.Error.Code,
-			Message: env.Error.Message}
-	}
-	return raw, nil
+	return readResponse(resp)
 }
 
 // Query POSTs one SELECT to /api/query and decodes the result document

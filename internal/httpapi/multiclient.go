@@ -1,0 +1,73 @@
+package httpapi
+
+import (
+	"context"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// MultiClient fans one request out to an ordered backend set — the
+// scatter half of the gateway's scatter-gather. Each backend gets its
+// own Client (per-request timeout, bounded GET retries); results come
+// back in backend order so per-index merges line up with the shard
+// numbering.
+type MultiClient struct {
+	Clients []*Client
+}
+
+// NewMultiClient builds one client per backend base URL, all sharing
+// the timeout and retry policy.
+func NewMultiClient(bases []string, timeout time.Duration, retry RetryPolicy) *MultiClient {
+	m := &MultiClient{Clients: make([]*Client, 0, len(bases))}
+	for _, b := range bases {
+		m.Clients = append(m.Clients, &Client{Base: b, Timeout: timeout, Retry: retry})
+	}
+	return m
+}
+
+// ShardResponse is one backend's leg of a scatter: the raw 200 body and
+// the X-Osdiv-Epoch it carried, or the leg's error (*Error for a typed
+// server envelope, a transport error otherwise).
+type ShardResponse struct {
+	Backend string
+	Body    []byte
+	Epoch   string
+	Err     error
+}
+
+// Scatter GETs path?query on every backend concurrently and returns
+// the legs in backend order. Per-leg retries and timeouts follow each
+// client's policy; the context spans all legs.
+func (m *MultiClient) Scatter(ctx context.Context, path string, query url.Values) []ShardResponse {
+	out := make([]ShardResponse, len(m.Clients))
+	var wg sync.WaitGroup
+	for i, c := range m.Clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			body, epoch, err := c.GetRawEpochContext(ctx, path, query)
+			out[i] = ShardResponse{Backend: c.Base, Body: body, Epoch: epoch, Err: err}
+		}(i, c)
+	}
+	wg.Wait()
+	return out
+}
+
+// ScatterPost POSTs one JSON body to every backend concurrently. POSTs
+// are never retried (matching Client); /api/query is the one POST the
+// gateway scatters, and it is read-only on the shard side.
+func (m *MultiClient) ScatterPost(ctx context.Context, path string, body any) []ShardResponse {
+	out := make([]ShardResponse, len(m.Clients))
+	var wg sync.WaitGroup
+	for i, c := range m.Clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			raw, epoch, err := c.PostJSONEpochContext(ctx, path, body)
+			out[i] = ShardResponse{Backend: c.Base, Body: raw, Epoch: epoch, Err: err}
+		}(i, c)
+	}
+	wg.Wait()
+	return out
+}

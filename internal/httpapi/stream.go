@@ -1,0 +1,43 @@
+package httpapi
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// StreamQueryResult writes a QueryResult document without materializing
+// the whole body: header fields first, then the rows array element by
+// element through a buffered writer. The emitted bytes are identical to
+// Marshal(doc), so streamed and cached query responses stay textually
+// comparable. Shared by the server's large-result exit and the
+// gateway's merged row streams.
+func StreamQueryResult(w io.Writer, doc *QueryResult) error {
+	bw := bufio.NewWriterSize(w, 32<<10)
+	cols, err := json.Marshal(doc.Columns)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, `{"columns":%s,"n":%d,"rows":[`, cols, doc.N); err != nil {
+		return err
+	}
+	for i, row := range doc.Rows {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		elem, err := json.Marshal(row)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(elem); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

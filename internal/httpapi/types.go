@@ -28,6 +28,7 @@ type CorpusInfo struct {
 	Source          string   `json:"source"`
 	Engine          string   `json:"engine"`
 	Workers         int      `json:"workers"`
+	Shard           string   `json:"shard,omitempty"` // "i/N" when serving a year-range slice
 	ValidEntries    int      `json:"valid_entries"`
 	Distros         int      `json:"distros"`
 	OSNames         []string `json:"os_names"`
@@ -253,6 +254,108 @@ type SQLCell struct {
 // SQLTable3 is the /api/sqltable3 document.
 type SQLTable3 struct {
 	Cells []SQLCell `json:"cells"`
+}
+
+// Partial-aggregate documents. A sharded backend (osdiv serve -shard
+// i/N) owns a year-range slice of the corpus; these documents carry the
+// raw, additive halves of the derived tables so the gateway can merge
+// per-shard answers and finalize (shares, filter reduction, most-shared
+// order, set ranking) with the single-process arithmetic. Endpoints
+// whose regular documents are already additive (table1, table3 rows,
+// temporal, kwise, releases, sqltable3) have no partial form — the
+// gateway merges the regular documents.
+
+// Table2Partial is the /api/partial/table2 document: Table II rows plus
+// the raw distinct-per-class counts and valid total behind the
+// percentage shares. Everything here sums across shards.
+type Table2Partial struct {
+	Rows          []ClassRow `json:"rows"`
+	ClassDistinct [4]int     `json:"class_distinct"`
+	Valid         int        `json:"valid"`
+}
+
+// Table4Partial is the /api/partial/table4 document: every pair's
+// Table IV row in pair presentation order, zero rows included and
+// unsorted, so per-index sums across shards finalize into Table4.
+type Table4Partial struct {
+	Rows []PartRow `json:"rows"`
+}
+
+// SharedProduct is one mergeable most-shared element.
+type SharedProduct struct {
+	ID       string `json:"id"`
+	Products int    `json:"products"`
+}
+
+// MostSharedPartial is the /api/partial/mostshared document: the
+// shard's top-n prefix of the (product count desc, CVE ID asc) order
+// with the counts the merge needs.
+type MostSharedPartial struct {
+	N       int             `json:"n"`
+	Entries []SharedProduct `json:"entries"`
+}
+
+// SelectPairCost is one history-eligible pair's windowed shared count.
+type SelectPairCost struct {
+	A      string `json:"a"`
+	B      string `json:"b"`
+	Shared int    `json:"shared"`
+}
+
+// SelectOSCost is one history-eligible distribution's windowed total —
+// the homogeneous single-member replica set's cost.
+type SelectOSCost struct {
+	OS    string `json:"os"`
+	Total int    `json:"total"`
+}
+
+// SelectPartial is the /api/partial/select document: the additive cost
+// vectors behind §IV-C set ranking for the window ending at to_year.
+type SelectPartial struct {
+	ToYear  int              `json:"to_year"`
+	Pairs   []SelectPairCost `json:"pairs"`
+	Singles []SelectOSCost   `json:"singles"`
+}
+
+// ShardStatus is one backend's slice of the gateway /readyz document.
+type ShardStatus struct {
+	Backend string `json:"backend"`
+	Status  string `json:"status"`
+	Epoch   uint64 `json:"epoch,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// GatewayReady is the gateway /readyz document: per-shard readiness and
+// the joined epoch vector the gateway keys its response cache on. The
+// gateway is ready only when every backend is.
+type GatewayReady struct {
+	Status string        `json:"status"`
+	Epochs string        `json:"epochs"`
+	Shards []ShardStatus `json:"shards"`
+}
+
+// ShardCorpus is one backend's identity in the gateway /corpus
+// document: who it is, which slice it owns, and what it loaded.
+type ShardCorpus struct {
+	Backend      string `json:"backend"`
+	Shard        string `json:"shard,omitempty"`
+	Source       string `json:"source"`
+	ValidEntries int    `json:"valid_entries"`
+	YearFrom     int    `json:"year_from"`
+	YearTo       int    `json:"year_to"`
+	Epoch        uint64 `json:"epoch"`
+}
+
+// GatewayCorpus is the gateway /corpus document: the merged corpus
+// figures (valid entries summed, year range unioned over non-empty
+// shards) and each backend's identity.
+type GatewayCorpus struct {
+	Backends     []string      `json:"backends"`
+	ValidEntries int           `json:"valid_entries"`
+	YearFrom     int           `json:"year_from"`
+	YearTo       int           `json:"year_to"`
+	Epochs       string        `json:"epochs"`
+	Shards       []ShardCorpus `json:"shards"`
 }
 
 // ErrorBody is the payload of the error envelope.

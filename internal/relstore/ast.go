@@ -210,3 +210,17 @@ func hasAggregate(e Expr) bool {
 		return false
 	}
 }
+
+// HasAggregates reports whether any select item or the HAVING clause
+// contains an aggregate call — whether the statement executes grouped.
+// A scatter-gather front-end uses this (with GroupBy/Distinct/OrderBy/
+// Limit) to refuse statements whose result cannot be reproduced by
+// concatenating per-shard row sets.
+func (sel *SelectStmt) HasAggregates() bool {
+	for _, it := range sel.Items {
+		if it.Expr != nil && hasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return sel.Having != nil && hasAggregate(sel.Having)
+}

@@ -317,17 +317,116 @@ func (s *Server) handleSQLTable3(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if s.cfg.DBPath == "" {
+	if !s.sqlEnabled() {
 		writeError(w, &apiError{status: http.StatusNotFound, code: "no_database",
 			message: "server was not started over an imported database (osdiv -db ... serve)"})
 		return
 	}
 	s.respond(w, ep, "sqltable3", func() (any, *apiError) {
-		doc, err := BuildSQLTable3(s.cfg.DBPath, s.cfg.Workers)
+		db, err := s.database()
+		if err != nil {
+			return nil, &apiError{status: http.StatusInternalServerError,
+				code: "db_failed", message: err.Error()}
+		}
+		doc, err := BuildSQLTable3FromDB(db)
 		if err != nil {
 			return nil, &apiError{status: http.StatusInternalServerError,
 				code: "sql_failed", message: err.Error()}
 		}
 		return doc, nil
+	})
+}
+
+// The /api/partial/* handlers answer the raw, additive halves the
+// gateway merges. They deliberately skip the regular endpoints'
+// parameter canonicalization — the gateway canonicalizes once against
+// the merged corpus (global year range, summed valid count) and sends
+// the canonical value to every shard; a shard clamping to its own
+// slice's range would desynchronize the legs.
+
+func (s *Server) handlePartialTable2(w http.ResponseWriter, r *http.Request) {
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
+	s.respond(w, ep, "partial/table2", func() (any, *apiError) {
+		return BuildTable2Partial(ep.Analysis), nil
+	})
+}
+
+func (s *Server) handlePartialTable4(w http.ResponseWriter, r *http.Request) {
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
+	s.respond(w, ep, "partial/table4", func() (any, *apiError) {
+		return BuildTable4Partial(ep.Analysis), nil
+	})
+}
+
+func (s *Server) handlePartialTable5(w http.ResponseWriter, r *http.Request) {
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
+	split, aerr := intParam(r.URL.Query(), "split", DefaultSplitYear, 1900, 2100)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	s.respond(w, ep, fmt.Sprintf("partial/table5?split=%d", split), func() (any, *apiError) {
+		return BuildTable5(ep.Analysis, split), nil
+	})
+}
+
+func (s *Server) handlePartialMostShared(w http.ResponseWriter, r *http.Request) {
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
+	n, aerr := intParam(r.URL.Query(), "n", defaultMostShared, 1, 1<<30)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	// The prefix clamps to the shard's record count inside the build, so
+	// an n canonicalized against the global count is safe here. Large
+	// listings bypass the bounded cache like /api/mostshared's streamed
+	// path, computing under a limiter slot per request.
+	if clamped := CanonListLimit(ep.Analysis, n); clamped <= mostSharedCacheMax {
+		s.respond(w, ep, fmt.Sprintf("partial/mostshared?n=%d", clamped), func() (any, *apiError) {
+			return BuildMostSharedPartial(ep.Analysis, n), nil
+		})
+		return
+	}
+	var doc httpapi.MostSharedPartial
+	aerr = func() *apiError {
+		if aerr := s.acquire(); aerr != nil {
+			return aerr
+		}
+		defer s.release()
+		s.computes.Add(1)
+		doc = BuildMostSharedPartial(ep.Analysis, n)
+		return nil
+	}()
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	s.respondDirect(w, doc)
+}
+
+func (s *Server) handlePartialSelect(w http.ResponseWriter, r *http.Request) {
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
+	toYear, aerr := intParam(r.URL.Query(), "to", DefaultSplitYear, 1900, 2100)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	s.respond(w, ep, fmt.Sprintf("partial/select?to=%d", toYear), func() (any, *apiError) {
+		return BuildSelectPartial(ep.Analysis, toYear), nil
 	})
 }

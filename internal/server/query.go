@@ -1,10 +1,8 @@
 package server
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -33,9 +31,29 @@ var queryStreamRows = 4096
 // queryMaxBody bounds the request document.
 const queryMaxBody = 1 << 20
 
-// database lazily opens the imported database once and keeps it
-// resident, so every /api/query shares one store and one plan cache.
+// SetDatabase installs an already-built database as the resident SQL
+// store — shard mode boots one over its corpus slice instead of opening
+// a file. Call before the server answers traffic (readiness gates on
+// the epoch install that follows it).
+func (s *Server) SetDatabase(db *vulndb.DB) {
+	db.SetParallelism(s.cfg.Workers)
+	s.db.Store(db)
+}
+
+// sqlEnabled reports whether the SQL surface (/api/query,
+// /api/sqltable3) is available: a database path to open lazily, or a
+// resident database injected via SetDatabase.
+func (s *Server) sqlEnabled() bool {
+	return s.cfg.DBPath != "" || s.db.Load() != nil
+}
+
+// database returns the resident database, lazily opening DBPath once
+// when none was injected, so every /api/query shares one store and one
+// plan cache.
 func (s *Server) database() (*vulndb.DB, error) {
+	if db := s.db.Load(); db != nil {
+		return db, nil
+	}
 	s.dbOnce.Do(func() {
 		db, err := vulndb.Open(s.cfg.DBPath)
 		if err != nil {
@@ -151,40 +169,6 @@ func valueToJSON(v relstore.Value) any {
 	}
 }
 
-// streamQueryResult writes the QueryResult document without
-// materializing the whole body: header fields first, then the rows
-// array element by element through a buffered writer. The emitted bytes
-// are identical to httpapi.Marshal(doc), so streamed and cached query
-// responses stay textually comparable.
-func streamQueryResult(w io.Writer, doc *httpapi.QueryResult) error {
-	bw := bufio.NewWriterSize(w, 32<<10)
-	cols, err := json.Marshal(doc.Columns)
-	if err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(bw, `{"columns":%s,"n":%d,"rows":[`, cols, doc.N); err != nil {
-		return err
-	}
-	for i, row := range doc.Rows {
-		if i > 0 {
-			if err := bw.WriteByte(','); err != nil {
-				return err
-			}
-		}
-		elem, err := json.Marshal(row)
-		if err != nil {
-			return err
-		}
-		if _, err := bw.Write(elem); err != nil {
-			return err
-		}
-	}
-	if _, err := bw.WriteString("]}\n"); err != nil {
-		return err
-	}
-	return bw.Flush()
-}
-
 // queryCall is one in-flight /api/query singleflight computation.
 // Small results land in body (and the response cache); large results
 // keep the document, and leader and waiters stream it independently.
@@ -200,7 +184,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if s.cfg.DBPath == "" {
+	if !s.sqlEnabled() {
 		writeError(w, &apiError{status: http.StatusNotFound, code: "no_database",
 			message: "server was not started over an imported database (osdiv -db ... serve)"})
 		return
@@ -333,6 +317,6 @@ func (s *Server) writeQueryOutcome(w http.ResponseWriter, c *queryCall) {
 		writeBody(w, c.body)
 	default:
 		w.Header().Set("Content-Type", "application/json")
-		streamQueryResult(w, c.doc)
+		httpapi.StreamQueryResult(w, c.doc)
 	}
 }

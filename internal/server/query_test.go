@@ -328,7 +328,7 @@ func TestStreamQueryResultMatchesMarshal(t *testing.T) {
 			t.Fatalf("doc %d: marshal: %v", i, err)
 		}
 		var buf bytes.Buffer
-		if err := streamQueryResult(&buf, &doc); err != nil {
+		if err := httpapi.StreamQueryResult(&buf, &doc); err != nil {
 			t.Fatalf("doc %d: stream: %v", i, err)
 		}
 		if !bytes.Equal(buf.Bytes(), want) {

@@ -62,6 +62,10 @@ type Config struct {
 	// DBPath, when non-empty, enables /api/sqltable3 over the imported
 	// database.
 	DBPath string
+	// Shard is the year-range slice this backend owns ("i/N"), empty for
+	// a whole-corpus server. Purely identity: it flows to /corpus so the
+	// gateway (and operators) can see which slice a backend answers for.
+	Shard string
 	// MaxInFlight bounds concurrently executing computations; 0 selects
 	// max(Workers, 1).
 	MaxInFlight int
@@ -219,6 +223,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/attack", s.get(s.handleAttack))
 	mux.HandleFunc("/api/sqltable3", s.get(s.handleSQLTable3))
 	mux.HandleFunc("/api/query", s.post(s.handleQuery))
+	mux.HandleFunc("/api/partial/table2", s.get(s.handlePartialTable2))
+	mux.HandleFunc("/api/partial/table4", s.get(s.handlePartialTable4))
+	mux.HandleFunc("/api/partial/table5", s.get(s.handlePartialTable5))
+	mux.HandleFunc("/api/partial/mostshared", s.get(s.handlePartialMostShared))
+	mux.HandleFunc("/api/partial/select", s.get(s.handlePartialSelect))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &apiError{status: http.StatusNotFound, code: "not_found",
 			message: "unknown endpoint " + r.URL.Path})

@@ -18,7 +18,7 @@ func (s *Server) healthDoc() httpapi.Health {
 // corpusDoc is the /corpus payload for the epoch the request resolved.
 func (s *Server) corpusDoc(ep *epoch.Epoch) httpapi.CorpusInfo {
 	st := s.epochs.Status()
-	return BuildCorpus(ep.Analysis, ep.Source, s.cfg.Engine, s.cfg.Workers, s.cfg.DBPath != "",
+	return BuildCorpus(ep.Analysis, ep.Source, s.cfg.Engine, s.cfg.Workers, s.cfg.Shard, s.sqlEnabled(),
 		EpochStatus{
 			Epoch:           ep.Seq,
 			ReloadSuccesses: st.Successes,

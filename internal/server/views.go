@@ -6,6 +6,7 @@ import (
 
 	"osdiversity"
 	"osdiversity/internal/httpapi"
+	"osdiversity/internal/vulndb"
 )
 
 // This file builds the httpapi wire documents from facade results. The
@@ -26,6 +27,14 @@ import (
 // printers render exactly the documents the server answers.
 func CanonSplitYear(a *osdiversity.Analysis, year int) int {
 	lo, hi := a.YearRange()
+	return CanonSplitYearRange(lo, hi, year)
+}
+
+// CanonSplitYearRange is CanonSplitYear against an explicit [lo, hi]
+// year range. The gateway canonicalizes against the merged range of
+// all shards — not any one backend's slice — so it clamps here with
+// the union it computed from the shard /corpus documents.
+func CanonSplitYearRange(lo, hi, year int) int {
 	if lo == 0 && hi == 0 {
 		return year // empty corpus: nothing to clamp against
 	}
@@ -63,7 +72,7 @@ type EpochStatus struct {
 // the resident database's plan-cache accounting, nil when no database
 // is open (CLI renders pass nil: the subcommand exits before a cache
 // could accumulate history worth reporting).
-func BuildCorpus(a *osdiversity.Analysis, source, engine string, workers int, sql bool, es EpochStatus, planCache *httpapi.PlanCacheInfo) httpapi.CorpusInfo {
+func BuildCorpus(a *osdiversity.Analysis, source, engine string, workers int, shard string, sql bool, es EpochStatus, planCache *httpapi.PlanCacheInfo) httpapi.CorpusInfo {
 	names := a.OSNames()
 	if names == nil {
 		names = []string{}
@@ -73,6 +82,7 @@ func BuildCorpus(a *osdiversity.Analysis, source, engine string, workers int, sq
 		Source:          source,
 		Engine:          engine,
 		Workers:         workers,
+		Shard:           shard,
 		ValidEntries:    a.ValidCount(),
 		Distros:         len(names),
 		OSNames:         names,
@@ -284,4 +294,81 @@ func BuildSQLTable3(dbPath string, workers int) (httpapi.SQLTable3, error) {
 		doc.Cells = append(doc.Cells, httpapi.SQLCell{A: c.A, B: c.B, Shared: c.Shared})
 	}
 	return doc, nil
+}
+
+// BuildSQLTable3FromDB renders the matrix over a resident database —
+// the server path, shared by file-opened and shard-injected stores.
+// The os dimension table is seeded identically in every database, so
+// per-shard documents carry the same pairs in the same order and their
+// cells sum across shards.
+func BuildSQLTable3FromDB(db *vulndb.DB) (httpapi.SQLTable3, error) {
+	cells, err := db.SharedMatrix()
+	if err != nil {
+		return httpapi.SQLTable3{}, fmt.Errorf("sql table3: %w", err)
+	}
+	doc := httpapi.SQLTable3{Cells: make([]httpapi.SQLCell, 0, len(cells))}
+	for _, c := range cells {
+		doc.Cells = append(doc.Cells, httpapi.SQLCell{A: c.A, B: c.B, Shared: c.Shared})
+	}
+	return doc, nil
+}
+
+// The partial builders render the /api/partial/* documents: the raw,
+// additive halves of the derived tables, which the gateway merges
+// across shards and finalizes with the core helpers. They ride the
+// same respond() path as every other endpoint, so partial answers
+// coalesce and cache per epoch like the tables they feed.
+
+// BuildTable2Partial renders Table II plus its raw share inputs.
+func BuildTable2Partial(a *osdiversity.Analysis) httpapi.Table2Partial {
+	counts, n := a.ClassDistinctCounts()
+	return httpapi.Table2Partial{
+		Rows:          BuildTable2(a).Rows,
+		ClassDistinct: counts,
+		Valid:         n,
+	}
+}
+
+// BuildTable4Partial renders every pair's Table IV row, unfiltered and
+// unsorted, in pair presentation order.
+func BuildTable4Partial(a *osdiversity.Analysis) httpapi.Table4Partial {
+	parts := a.PartBreakdownsAll()
+	doc := httpapi.Table4Partial{Rows: make([]httpapi.PartRow, 0, len(parts))}
+	for _, row := range parts {
+		doc.Rows = append(doc.Rows, httpapi.PartRow{
+			A: row.A, B: row.B, Driver: row.Driver, Kernel: row.Kernel,
+			SysSoft: row.SysSoft, Total: row.Total,
+		})
+	}
+	return doc
+}
+
+// BuildMostSharedPartial renders the shard's top-n most-shared prefix
+// with the product counts the gateway merge orders by.
+func BuildMostSharedPartial(a *osdiversity.Analysis, n int) httpapi.MostSharedPartial {
+	raw := a.MostSharedCounts(n)
+	doc := httpapi.MostSharedPartial{Entries: make([]httpapi.SharedProduct, 0, len(raw))}
+	for _, c := range raw {
+		doc.Entries = append(doc.Entries, httpapi.SharedProduct{ID: c.ID, Products: c.Products})
+	}
+	doc.N = len(doc.Entries)
+	return doc
+}
+
+// BuildSelectPartial renders the additive §IV-C cost vectors for the
+// window ending at toYear.
+func BuildSelectPartial(a *osdiversity.Analysis, toYear int) httpapi.SelectPartial {
+	pairs, singles := a.SelectionCosts(toYear)
+	doc := httpapi.SelectPartial{
+		ToYear:  toYear,
+		Pairs:   make([]httpapi.SelectPairCost, 0, len(pairs)),
+		Singles: make([]httpapi.SelectOSCost, 0, len(singles)),
+	}
+	for _, p := range pairs {
+		doc.Pairs = append(doc.Pairs, httpapi.SelectPairCost{A: p.A, B: p.B, Shared: p.Shared})
+	}
+	for _, s := range singles {
+		doc.Singles = append(doc.Singles, httpapi.SelectOSCost{OS: s.OS, Total: s.Total})
+	}
+	return doc
 }

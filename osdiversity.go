@@ -48,6 +48,8 @@ type config struct {
 	lenient   bool
 	feedStats *FeedStats
 	snapshot  string // != "" tees a snapshot of the loaded study to this path
+	shardIdx  int    // with shardN: 1-based year-range shard to keep
+	shardN    int    // total shard count; 0 = unsharded
 }
 
 // WithParallelism sets the worker count used throughout the pipeline:
@@ -103,6 +105,20 @@ type FeedStats struct {
 	MalformedSkipped int
 }
 
+// WithYearShard restricts the materializing loaders (LoadFeeds,
+// LoadCalibrated, LoadSynthetic, LoadDatabase) to year-range shard i of
+// n, 1-based as `osdiv serve -shard i/N` spells it: contiguous chunk
+// i-1 of the corpus's ascending year groups per corpus.ShardByYear. The
+// n shards partition the corpus, so every additive aggregate of a
+// sharded analysis merges with its siblings to the full-corpus figure —
+// the contract the scatter-gather gateway (internal/gather) is built
+// on. Out-of-range i/n fails the load; StreamFeeds and LoadSnapshot
+// reject sharding (they never materialize the entry slice the split
+// needs).
+func WithYearShard(i, n int) Option {
+	return func(c *config) { c.shardIdx, c.shardN = i, n }
+}
+
 // WithFeedStats makes LoadFeeds, StreamFeeds, ImportFeeds and
 // ImportFeedsStream record their skip counters into st, so callers
 // ingesting with WithLenient can report how many malformed entries were
@@ -136,6 +152,20 @@ func (c config) noteSkips(skips *nvdfeed.SkipStats) {
 		c.feedStats.MalformedSkipped = skips.Skipped()
 	}
 }
+
+// shardEntries applies the WithYearShard slice, validating the spec.
+func (c config) shardEntries(entries []*cve.Entry) ([]*cve.Entry, error) {
+	if c.shardN == 0 && c.shardIdx == 0 {
+		return entries, nil
+	}
+	if c.shardN < 1 || c.shardIdx < 1 || c.shardIdx > c.shardN {
+		return nil, fmt.Errorf("osdiversity: invalid shard %d/%d: need 1 <= i <= n", c.shardIdx, c.shardN)
+	}
+	return corpus.ShardByYear(entries, c.shardIdx-1, c.shardN), nil
+}
+
+// sharded reports whether WithYearShard was requested at all.
+func (c config) sharded() bool { return c.shardN != 0 || c.shardIdx != 0 }
 
 // studyOptions translates the facade config into core options.
 func (c config) studyOptions() []core.Option {
@@ -242,6 +272,9 @@ func LoadFeeds(paths []string, opts ...Option) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	if entries, err = cfg.shardEntries(entries); err != nil {
+		return nil, err
+	}
 	cfg.noteSkips(skips)
 	return cfg.finishAnalysis(core.NewStudy(entries, cfg.studyOptions()...), "feeds", skips.Skipped())
 }
@@ -259,6 +292,9 @@ const streamBatch = 512
 // worker count.
 func StreamFeeds(paths []string, opts ...Option) (*Analysis, error) {
 	cfg := newConfig(opts)
+	if cfg.sharded() {
+		return nil, fmt.Errorf("osdiversity: WithYearShard needs materialized entries; use LoadFeeds")
+	}
 	skips := &nvdfeed.SkipStats{}
 	st := nvdfeed.StreamFiles(paths, cfg.readerOptions(skips)...)
 	defer st.Close()
@@ -287,7 +323,11 @@ func LoadCalibrated(opts ...Option) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cfg.finishAnalysis(core.NewStudy(c.Entries, cfg.studyOptions()...), "calibrated", 0)
+	entries, err := cfg.shardEntries(c.Entries)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.finishAnalysis(core.NewStudy(entries, cfg.studyOptions()...), "calibrated", 0)
 }
 
 // SyntheticSpec parameterizes the synthetic "modern NVD" corpus: a
@@ -322,8 +362,12 @@ func LoadSynthetic(spec SyntheticSpec, opts ...Option) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	entries, err := cfg.shardEntries(sc.Entries)
+	if err != nil {
+		return nil, err
+	}
 	studyOpts := append(cfg.studyOptions(), core.WithRegistry(sc.Registry))
-	st := core.NewStudy(sc.Entries, studyOpts...)
+	st := core.NewStudy(entries, studyOpts...)
 	return cfg.finishAnalysis(st, fmt.Sprintf("synthetic:%d", len(st.Distros())), 0)
 }
 
@@ -485,6 +529,9 @@ func LoadDatabase(dbPath string, opts ...Option) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	if entries, err = cfg.shardEntries(entries); err != nil {
+		return nil, err
+	}
 	return cfg.finishAnalysis(core.NewStudy(entries, cfg.studyOptions()...), "db", 0)
 }
 
@@ -540,6 +587,15 @@ type ClassRow struct {
 	Kernel  int
 	SysSoft int
 	App     int
+}
+
+// ClassDistinctCounts returns the raw, additive half of Table II's
+// shares: distinct valid vulnerability counts per component class
+// (Driver, Kernel, SysSoft, App) and the valid total. Sum both across
+// shards and finalize with core.ClassShares to reproduce ClassTable's
+// percentages.
+func (a *Analysis) ClassDistinctCounts() (counts [4]int, n int) {
+	return a.study.ClassDistinct()
 }
 
 // ClassTable reproduces Table II. The shares are the percentage of
@@ -613,6 +669,25 @@ func (a *Analysis) PartBreakdowns() []PartRow {
 		})
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// PartBreakdownsAll returns every pair's Table IV row in pair
+// presentation order, zero rows included and unsorted — the raw,
+// additive form PartBreakdowns derives from. A scatter-gather merge
+// sums the rows per pair index across shards, then filters and sorts
+// exactly like PartBreakdowns to reproduce its bytes.
+func (a *Analysis) PartBreakdownsAll() []PartRow {
+	pairs := a.study.Pairs()
+	out := make([]PartRow, 0, len(pairs))
+	for _, p := range pairs {
+		parts := a.study.PartBreakdown(p)
+		out = append(out, PartRow{
+			A: p.A.String(), B: p.B.String(),
+			Driver: parts.Driver, Kernel: parts.Kernel, SysSoft: parts.SysSoft,
+			Total: parts.Total(),
+		})
+	}
 	return out
 }
 
@@ -699,6 +774,62 @@ func (a *Analysis) MostShared(n int) []string {
 		out = append(out, e.ID.String())
 	}
 	return out
+}
+
+// SharedCount is one most-shared listing element in mergeable form.
+type SharedCount struct {
+	ID       string
+	Products int
+}
+
+// MostSharedCounts returns the first n elements of the most-shared
+// order with their OS-product counts — the additive form of MostShared.
+// Per-shard prefixes merge to the global listing under the (count desc,
+// ID asc) order (core.MergeMostShared).
+func (a *Analysis) MostSharedCounts(n int) []SharedCount {
+	raw := a.study.MostSharedCounts(n)
+	out := make([]SharedCount, 0, len(raw))
+	for _, c := range raw {
+		out = append(out, SharedCount{ID: c.ID.String(), Products: c.Products})
+	}
+	return out
+}
+
+// PairCost is one history-eligible pair's shared-vulnerability count
+// inside a selection window — one additive term of §IV-C's set cost.
+type PairCost struct {
+	A, B   string
+	Shared int
+}
+
+// OSCost is one history-eligible distribution's total valid count inside
+// a selection window — the homogeneous one-member set's cost.
+type OSCost struct {
+	OS    string
+	Total int
+}
+
+// SelectionCosts returns the additive cost vectors behind
+// SelectReplicaSets for the window ending at toYear: every
+// history-eligible pair's windowed shared count (in osmap.PairsOf
+// order) and every history-eligible distribution's windowed total.
+// Shard-summed vectors fed to core.RankSetsFromCosts reproduce
+// SelectReplicaSets' ranking exactly.
+func (a *Analysis) SelectionCosts(toYear int) ([]PairCost, []OSCost) {
+	w := core.SelectionWindow{ToYear: toYear}
+	elig := osmap.HistoryEligible()
+	pairs := osmap.PairsOf(elig)
+	pc := make([]PairCost, 0, len(pairs))
+	for _, p := range pairs {
+		pc = append(pc, PairCost{A: p.A.String(), B: p.B.String(),
+			Shared: a.study.PairSharedInWindow(p, w)})
+	}
+	sc := make([]OSCost, 0, len(elig))
+	for _, d := range elig {
+		sc = append(sc, OSCost{OS: d.String(),
+			Total: a.study.SetCost([]osmap.Distro{d}, w)})
+	}
+	return pc, sc
 }
 
 // FilterReduction returns the §IV-E(1) statistic: the average percentage

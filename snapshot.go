@@ -71,6 +71,9 @@ func (a *Analysis) SaveSnapshot(path string) error {
 // releases it.
 func LoadSnapshot(path string, opts ...Option) (*Analysis, error) {
 	cfg := newConfig(opts)
+	if cfg.sharded() {
+		return nil, fmt.Errorf("osdiversity: WithYearShard needs materialized entries; shard from feeds or a database")
+	}
 	snap, err := snapshot.Open(path)
 	if err != nil {
 		return nil, err
