@@ -14,6 +14,10 @@
 //	select    rank replica sets on history data (§IV-C)
 //	releases  print the per-release overlap study (Table VI)
 //	simulate  run the attack simulation extension (E12)
+//	recommend search OS assignments and rotation schedules maximizing
+//	          Monte Carlo survival (internal/scenario); prints the
+//	          httpapi wire document, byte-identical to the server's
+//	          POST /api/recommend for the same spec
 //	sqltable3 print the Table III matrix computed by the SQL engine
 //	          (requires -db; one grouped hash-join plan, no Study)
 //	query     run one ad-hoc SELECT against the imported database
@@ -138,6 +142,8 @@ func main() {
 		err = runReleases(a)
 	case "simulate":
 		err = runSimulate(a, args)
+	case "recommend":
+		err = runRecommend(a, args)
 	default:
 		usage()
 	}
@@ -147,7 +153,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir [-stream] | -synthetic n | -snapshot file] [-workers n] [-engine bitset|scan] tables|figures|kwise|select|releases|simulate|sqltable3|query|serve|gateway [options]")
+	fmt.Fprintln(os.Stderr, "usage: osdiv [-db file | -feeds dir [-stream] | -synthetic n | -snapshot file] [-workers n] [-engine bitset|scan] tables|figures|kwise|select|releases|simulate|recommend|sqltable3|query|serve|gateway [options]")
 	os.Exit(2)
 }
 
@@ -214,6 +220,48 @@ func runQuery(dbPath string, workers int, args []string) error {
 		return err
 	}
 	body, err := httpapi.Marshal(server.BuildQueryResult(res))
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(body)
+	return err
+}
+
+// runRecommend searches OS assignments and rotation schedules for an
+// intrusion-tolerant replica group and prints the httpapi.Recommend
+// document — byte-identical to the server's POST /api/recommend
+// response for the same spec, which the CI smoke diffs.
+func runRecommend(a *osdiversity.Analysis, args []string) error {
+	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
+	universe := fs.String("universe", "", "comma-separated candidate OS names (default: the eight history-eligible distributions)")
+	f := fs.Int("f", 0, "fault threshold (3f+1 replicas per window; default 1)")
+	windows := fs.Int("windows", 0, "temporal rotation windows (default 2)")
+	from := fs.Int("from", 0, "first disclosure year considered (default: corpus low)")
+	to := fs.Int("to", 0, "last disclosure year considered (default: corpus high)")
+	interval := fs.Float64("interval", 0, "rotation cadence in attack-model time units (default 2)")
+	trials := fs.Int("trials", 0, "Monte Carlo trials per candidate schedule (default 200)")
+	seed := fs.Uint64("seed", 0, "root seed of the deterministic trial streams (default 1)")
+	beam := fs.Int("beam", 0, "assignments kept per window before crossing (default 4)")
+	top := fs.Int("top", 0, "candidate schedules reported (default 3)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req := httpapi.RecommendRequest{
+		F: *f, Windows: *windows, FromYear: *from, ToYear: *to,
+		Interval: *interval, Trials: *trials, Seed: *seed, Beam: *beam, Top: *top,
+	}
+	if *universe != "" {
+		req.Universe = strings.Split(*universe, ",")
+	}
+	canon, err := server.CanonRecommend(a, req)
+	if err != nil {
+		return err
+	}
+	doc, err := server.BuildRecommend(a, canon)
+	if err != nil {
+		return err
+	}
+	body, err := httpapi.Marshal(doc)
 	if err != nil {
 		return err
 	}

@@ -48,6 +48,10 @@ type Model struct {
 	// population is immutable, so every trial shares them).
 	byOSOnce sync.Once
 	byOSIdx  map[osmap.Distro][]core.VulnRef
+	// winMu/winIdx memoize window-scoped slices of the population for
+	// rotation schedules (one map per distinct temporal window).
+	winMu  sync.Mutex
+	winIdx map[core.SelectionWindow]map[osmap.Distro][]core.VulnRef
 }
 
 // byOS returns the per-distro vulnerability lists, built once.
@@ -61,6 +65,34 @@ func (m *Model) byOS() map[osmap.Distro][]core.VulnRef {
 		}
 	})
 	return m.byOSIdx
+}
+
+// byOSInWindow returns the per-distro vulnerability lists restricted to
+// disclosures inside the temporal window, memoized per window. The
+// zero window is the whole population.
+func (m *Model) byOSInWindow(w core.SelectionWindow) map[osmap.Distro][]core.VulnRef {
+	if w == (core.SelectionWindow{}) {
+		return m.byOS()
+	}
+	m.winMu.Lock()
+	defer m.winMu.Unlock()
+	if idx, ok := m.winIdx[w]; ok {
+		return idx
+	}
+	idx := make(map[osmap.Distro][]core.VulnRef)
+	for _, v := range m.vulns {
+		if !w.Contains(v.Year) {
+			continue
+		}
+		for _, d := range v.Distros {
+			idx[d] = append(idx[d], v)
+		}
+	}
+	if m.winIdx == nil {
+		m.winIdx = make(map[core.SelectionWindow]map[osmap.Distro][]core.VulnRef)
+	}
+	m.winIdx[w] = idx
+	return idx
 }
 
 // NewModel extracts the vulnerability population from a study under a
@@ -514,12 +546,4 @@ func distinctOSes(oses []osmap.Distro) []osmap.Distro {
 		}
 	}
 	return out
-}
-
-func popcount32(x uint32) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
 }

@@ -1,0 +1,242 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"osdiversity/internal/bft"
+	"osdiversity/internal/core"
+	"osdiversity/internal/osmap"
+)
+
+// RotationStep is one window of a dynamic-diversity rotation schedule:
+// the OS assignment deployed for the step and the temporal window whose
+// disclosures arm the adversary while the step is live.
+type RotationStep struct {
+	// OSes assigns operating systems to the 3F+1 replicas for the step.
+	OSes []osmap.Distro
+	// Window restricts the adversary's vulnerability population to
+	// disclosures inside the window while the step is deployed. The
+	// zero window means the whole population.
+	Window core.SelectionWindow
+}
+
+// maxRotationReplicas bounds 3F+1 so the compromised-replica set fits a
+// uint32 bitmask counted with bits.OnesCount32.
+const maxRotationReplicas = 32
+
+// validateRotation checks a schedule's shape.
+func validateRotation(f int, steps []RotationStep, interval float64) error {
+	if f < 1 {
+		return errors.New("attack: F must be at least 1")
+	}
+	n := 3*f + 1
+	if n > maxRotationReplicas {
+		return fmt.Errorf("attack: rotation supports at most F=%d", (maxRotationReplicas-1)/3)
+	}
+	if len(steps) == 0 {
+		return errors.New("attack: rotation needs at least one step")
+	}
+	for i, st := range steps {
+		if len(st.OSes) != n {
+			return fmt.Errorf("attack: step %d needs %d replicas for F=%d, got %d", i, n, f, len(st.OSes))
+		}
+	}
+	if interval <= 0 {
+		return errors.New("attack: interval must be positive")
+	}
+	return nil
+}
+
+// RotationResult is one simulated run over a rotation schedule.
+type RotationResult struct {
+	// Survived reports that the adversary never held more than F
+	// replicas simultaneously within any step.
+	Survived bool
+	// FailedStep is the index of the step where the threshold was
+	// crossed (-1 when the run survived).
+	FailedStep int
+	// When is the failure time (the schedule horizon when survived).
+	When float64
+	// Campaigns counts completed exploit campaigns.
+	Campaigns int
+}
+
+// SimulateRotation runs one attack against a rotation schedule with a
+// deterministic seed. Each step deploys its assignment for `interval`
+// time units; the boundary rejuvenates every replica from a clean
+// image. Rotation is redeployment, not patching: the adversary's
+// arsenal of working exploits persists, so an OS exploited in an
+// earlier step is re-compromised the instant a later step redeploys it
+// — schedules that avoid OS reuse are exactly the ones that benefit.
+// Within a step the campaign loop mirrors Simulate, drawing targets
+// from the step's window-scoped population; a campaign still running at
+// the boundary is abandoned with the outgoing image.
+func (m *Model) SimulateRotation(f int, steps []RotationStep, interval float64, seed uint64) (RotationResult, error) {
+	if err := validateRotation(f, steps, interval); err != nil {
+		return RotationResult{}, err
+	}
+	rnd := rng{state: seed*0x9E3779B97F4A7C15 + 1}
+	arsenal := make(map[osmap.Distro]bool)
+	res := RotationResult{FailedStep: -1}
+
+	for k, st := range steps {
+		byOS := m.byOSInWindow(st.Window)
+		start := float64(k) * interval
+		end := start + interval
+
+		compromised := make(map[osmap.Distro]bool)
+		downCount := func() int {
+			var mask uint32
+			for i, os := range st.OSes {
+				if compromised[os] {
+					mask |= 1 << i
+				}
+			}
+			return bits.OnesCount32(mask)
+		}
+		// Redeployed images the adversary already holds exploits for
+		// fall at the boundary itself.
+		for _, os := range st.OSes {
+			if arsenal[os] {
+				compromised[os] = true
+			}
+		}
+		if downCount() > f {
+			res.When = start
+			res.FailedStep = k
+			return res, nil
+		}
+
+		now := start
+		for {
+			var target osmap.Distro
+			bestCover := 0
+			for _, os := range distinctOSes(st.OSes) {
+				if compromised[os] || len(byOS[os]) == 0 {
+					continue
+				}
+				cover := 0
+				for _, o := range st.OSes {
+					if o == os {
+						cover++
+					}
+				}
+				if cover > bestCover {
+					bestCover = cover
+					target = os
+				}
+			}
+			if bestCover == 0 {
+				break // nothing attackable before the next rotation
+			}
+			done := now + rnd.expDraw(m.MeanEffort)
+			if done >= end {
+				break // the boundary rejuvenates before the campaign lands
+			}
+			now = done
+			res.Campaigns++
+			vulns := byOS[target]
+			v := vulns[int(rnd.next()%uint64(len(vulns)))]
+			arsenal[target] = true
+			compromised[target] = true
+			for _, d := range v.Distros {
+				arsenal[d] = true
+				compromised[d] = true
+			}
+			if downCount() > f {
+				res.When = now
+				res.FailedStep = k
+				return res, nil
+			}
+		}
+	}
+	res.Survived = true
+	res.When = float64(len(steps)) * interval
+	return res, nil
+}
+
+// RotationSurvival runs `trials` rotation simulations on the Monte
+// Carlo worker pool and returns the surviving fraction. Trial t draws
+// from stream seedBase+t+1 regardless of worker count or call order,
+// so callers can assign independent deterministic streams per schedule
+// candidate.
+func (m *Model) RotationSurvival(f int, steps []RotationStep, interval float64, trials int, seedBase uint64) (float64, error) {
+	if trials < 1 {
+		return 0, errors.New("attack: at least one trial required")
+	}
+	if err := validateRotation(f, steps, interval); err != nil {
+		return 0, err
+	}
+	// Warm the window populations before sharding so trials only read.
+	for _, st := range steps {
+		m.byOSInWindow(st.Window)
+	}
+	results := make([]RotationResult, trials)
+	m.runTrials(trials, func(t int) {
+		// Shape validated above; per-trial errors cannot occur.
+		results[t], _ = m.SimulateRotation(f, steps, interval, seedBase+uint64(t)+1)
+	})
+	survived := 0
+	for _, res := range results {
+		if res.Survived {
+			survived++
+		}
+	}
+	return float64(survived) / float64(trials), nil
+}
+
+// ReplayRotationOnCluster validates a schedule's survival claim on the
+// BFT substrate, extending ReplayOnCluster across rotation boundaries:
+// for every step the cluster rotates to the step's assignment
+// (rejuvenating each replica), up to F replicas fall by OS exactly as
+// window-scoped exploits take them, a request is submitted, and the
+// safety report must stay clean. The returned violations are empty iff
+// every step preserved agreement and validity with the threshold
+// respected.
+func (m *Model) ReplayRotationOnCluster(f int, steps []RotationStep, seed uint64) ([]string, error) {
+	if err := validateRotation(f, steps, 1); err != nil {
+		return nil, err
+	}
+	cluster, err := bft.NewCluster(bft.Config{F: f, OSes: steps[0].OSes, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	var violations []string
+	for k, st := range steps {
+		if k > 0 {
+			if err := cluster.Rotate(st.OSes); err != nil {
+				return nil, err
+			}
+		}
+		// Compromise up to F replicas, restricted to OSes the step's
+		// window actually gives the adversary an exploit for.
+		byOS := m.byOSInWindow(st.Window)
+		budget := f
+		for _, os := range distinctOSes(st.OSes) {
+			if budget == 0 {
+				break
+			}
+			if len(byOS[os]) == 0 {
+				continue
+			}
+			hits := 0
+			for _, o := range st.OSes {
+				if o == os {
+					hits++
+				}
+			}
+			if hits <= budget {
+				cluster.CompromiseByOS(os, bft.ForgeReplies)
+				budget -= hits
+			}
+		}
+		cluster.Submit(fmt.Sprintf("step-%d", k))
+		cluster.Run(float64(k+1) * 20000)
+		for _, v := range cluster.SafetyReport() {
+			violations = append(violations, fmt.Sprintf("step %d: %s", k, v))
+		}
+	}
+	return violations, nil
+}

@@ -252,6 +252,23 @@ func (c *Cluster) RecoverByOS(d osmap.Distro) int {
 	return n
 }
 
+// Rotate redeploys the cluster on a new OS assignment, modeling the
+// rotation boundary of a dynamic-diversity schedule: every replica is
+// rejuvenated from a clean image of its new distribution. Protocol
+// state for in-flight requests resets; views are preserved so the
+// cluster keeps its primary succession across the boundary.
+func (c *Cluster) Rotate(oses []osmap.Distro) error {
+	if len(oses) != c.n {
+		return fmt.Errorf("bft: need %d OSes for F=%d, got %d", c.n, c.cfg.F, len(oses))
+	}
+	for i, r := range c.replicas {
+		fresh := newReplica(r.id, oses[i])
+		fresh.view = r.view
+		c.replicas[i] = fresh
+	}
+	return nil
+}
+
 // CompromisedCount returns the number of non-honest replicas.
 func (c *Cluster) CompromisedCount() int {
 	n := 0
@@ -345,6 +362,9 @@ func (c *Cluster) Run(horizon float64) float64 {
 	for c.queue.Len() > 0 {
 		m := heap.Pop(&c.queue).(*message)
 		if m.at > horizon {
+			// Leave the event for a later Run — a partial run must not
+			// swallow the first message beyond its horizon.
+			heap.Push(&c.queue, m)
 			break
 		}
 		c.now = m.at

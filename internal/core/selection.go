@@ -60,8 +60,8 @@ type SelectionWindow struct {
 	ToYear   int // inclusive; 0 means no upper bound
 }
 
-// contains reports whether a year falls in the window.
-func (w SelectionWindow) contains(year int) bool {
+// Contains reports whether a year falls in the window.
+func (w SelectionWindow) Contains(year int) bool {
 	if w.FromYear != 0 && year < w.FromYear {
 		return false
 	}
@@ -70,6 +70,9 @@ func (w SelectionWindow) contains(year int) bool {
 	}
 	return true
 }
+
+// contains is the internal alias predating the exported form.
+func (w SelectionWindow) contains(year int) bool { return w.Contains(year) }
 
 // windowPairCounts returns every pair's Isolated-Thin-Server shared
 // count inside the window, indexed by position in osmap.AllPairs().
@@ -159,6 +162,20 @@ func (s *Study) SetCost(members []osmap.Distro, w SelectionWindow) int {
 		cost += s.PairSharedInWindow(p, w)
 	}
 	return cost
+}
+
+// SetCostsByWindow evaluates one replica set across many temporal
+// windows in a single call — the batch overlap query the scenario
+// engine runs per candidate assignment. Each window's cost comes from
+// the same cached year-segmented matrices SetCost uses, so the whole
+// batch is O(windows × pairs) lookups after the first touch of each
+// window.
+func (s *Study) SetCostsByWindow(members []osmap.Distro, ws []SelectionWindow) []int {
+	out := make([]int, len(ws))
+	for i, w := range ws {
+		out[i] = s.SetCost(members, w)
+	}
+	return out
 }
 
 // RankReplicaSets enumerates all size-k subsets of the candidates and

@@ -843,9 +843,11 @@ func (s *Study) ReleaseOverlap(da osmap.Distro, va string, db osmap.Distro, vb s
 }
 
 // VulnRef is one valid vulnerability with its affected distributions,
-// the digest the attack model consumes.
+// the digest the attack model consumes. Year carries the disclosure
+// year so callers can slice populations by temporal window.
 type VulnRef struct {
 	ID      cve.ID
+	Year    int
 	Distros []osmap.Distro
 }
 
@@ -858,7 +860,7 @@ func (s *Study) Vulnerabilities(profile Profile) []VulnRef {
 		if !r.matches(profile) {
 			continue
 		}
-		ref := VulnRef{ID: r.id, Distros: make([]osmap.Distro, 0, r.nos)}
+		ref := VulnRef{ID: r.id, Year: r.year, Distros: make([]osmap.Distro, 0, r.nos)}
 		r.mask.ForEachBit(func(b int) {
 			ref.Distros = append(ref.Distros, s.distros[b])
 		})

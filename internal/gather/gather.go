@@ -24,8 +24,9 @@
 //     sets in shard order — legal only for plain SELECTs, so grouped,
 //     aggregated, deduplicated, ordered or limited statements answer
 //     501 unsupported_on_gateway;
-//   - /api/attack and /admin/reload are not mergeable (the Monte Carlo
-//     is corpus-global; shards reload individually) and answer 501.
+//   - /api/attack, /api/recommend and /admin/reload are not mergeable
+//     (the Monte Carlo and the schedule search are corpus-global;
+//     shards reload individually) and answer 501.
 //
 // Consistency across shards is epoch-vector based. Every request first
 // resolves the per-shard epoch vector (a coalesced /readyz probe,
@@ -249,6 +250,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/api/attack", g.get(g.handleAttack))
 	mux.HandleFunc("/api/sqltable3", g.get(g.handleSQLTable3))
 	mux.HandleFunc("/api/query", g.post(g.handleQuery))
+	mux.HandleFunc("/api/recommend", g.post(g.handleRecommend))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &gwError{status: http.StatusNotFound, code: "not_found",
 			message: "unknown endpoint " + r.URL.Path})

@@ -106,6 +106,9 @@ var identityProbes = []string{
 	"/api/temporal?os=NotAnOS",
 	"/api/releases?a=Debian&va=4.0",
 	"/api/select?k=99",
+	// GET on the POST-only recommend endpoint: both tiers answer the
+	// same 405 method_not_allowed envelope.
+	"/api/recommend",
 }
 
 // TestGatewayByteIdentity is the tentpole acceptance gate: a gateway
@@ -496,6 +499,21 @@ func TestGatewayUnsupported(t *testing.T) {
 	}
 	if resp.StatusCode != http.StatusNotImplemented || env.Error.Code != "unsupported_on_gateway" {
 		t.Errorf("/admin/reload: got %d %s, want 501 unsupported_on_gateway", resp.StatusCode, env.Error.Code)
+	}
+
+	// The schedule search is corpus-global like the attack simulation:
+	// a well-formed POST gets the typed 501, never a partial answer.
+	resp, err = http.Post(gwts.URL+"/api/recommend", "application/json", strings.NewReader(`{"trials":10}`))
+	if err != nil {
+		t.Fatalf("POST /api/recommend: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("non-envelope body: %s", body)
+	}
+	if resp.StatusCode != http.StatusNotImplemented || env.Error.Code != "unsupported_on_gateway" {
+		t.Errorf("/api/recommend: got %d %s, want 501 unsupported_on_gateway", resp.StatusCode, env.Error.Code)
 	}
 
 	if status, _ := fetch(t, gwts.URL, "/api/nope"); status != http.StatusNotFound {

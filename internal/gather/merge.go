@@ -155,6 +155,11 @@ func (g *Gateway) handleAttack(w http.ResponseWriter, r *http.Request) {
 		"the attack Monte Carlo needs the whole corpus in one process; run it against an unsharded server"))
 }
 
+func (g *Gateway) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	writeError(w, errUnsupported(
+		"the schedule search simulates over the whole corpus in one process; run it against an unsharded server"))
+}
+
 // addValidity sums one Table I row into an accumulator after checking
 // the OS identity lines up across shards.
 func mismatchRow(backend, table string, i int, got, want string) *gwError {

@@ -278,6 +278,20 @@ func (c *Client) Query(sql string, args ...any) (QueryResult, error) {
 	return out, nil
 }
 
+// Recommend POSTs a dynamic-diversity search spec to /api/recommend
+// and decodes the ranked-schedule document.
+func (c *Client) Recommend(req RecommendRequest) (Recommend, error) {
+	var out Recommend
+	body, err := c.PostJSON("/api/recommend", req)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return out, fmt.Errorf("httpapi: decode /api/recommend: %w", err)
+	}
+	return out, nil
+}
+
 // get fetches and decodes a document.
 func get[T any](c *Client, path string, query url.Values) (T, error) {
 	var out T

@@ -244,6 +244,59 @@ type Attack struct {
 	Unbroken    int      `json:"unbroken"`
 }
 
+// RecommendRequest is the POST /api/recommend body: the spec of one
+// dynamic-diversity schedule search. Zero fields take server defaults
+// (history-eligible universe, F=1, 2 windows over the corpus years,
+// interval 2, 200 trials, seed 1, beam 4, top 3).
+type RecommendRequest struct {
+	Universe []string `json:"universe,omitempty"`
+	F        int      `json:"f,omitempty"`
+	Windows  int      `json:"windows,omitempty"`
+	FromYear int      `json:"from,omitempty"`
+	ToYear   int      `json:"to,omitempty"`
+	Interval float64  `json:"interval,omitempty"`
+	Trials   int      `json:"trials,omitempty"`
+	Seed     uint64   `json:"seed,omitempty"`
+	Beam     int      `json:"beam,omitempty"`
+	Top      int      `json:"top,omitempty"`
+}
+
+// RecommendWindow is one temporal window of a recommended schedule.
+type RecommendWindow struct {
+	FromYear int      `json:"from"`
+	ToYear   int      `json:"to"`
+	OSes     []string `json:"oses"`
+	Cost     int      `json:"cost"`
+}
+
+// RecommendCandidate is one ranked rotation schedule.
+type RecommendCandidate struct {
+	Rank     int               `json:"rank"`
+	Survival float64           `json:"survival"`
+	Cost     int               `json:"cost"`
+	Windows  []RecommendWindow `json:"windows"`
+}
+
+// Recommend is the /api/recommend document: the canonicalized spec the
+// search answered, the top schedules ranked by Monte Carlo survival,
+// and the BFT replay verdict for the winner.
+type Recommend struct {
+	Universe   []string             `json:"universe"`
+	F          int                  `json:"f"`
+	Replicas   int                  `json:"replicas"`
+	Windows    int                  `json:"windows"`
+	FromYear   int                  `json:"from"`
+	ToYear     int                  `json:"to"`
+	Interval   float64              `json:"interval"`
+	Trials     int                  `json:"trials"`
+	Seed       uint64               `json:"seed"`
+	Beam       int                  `json:"beam"`
+	Evaluated  int                  `json:"evaluated"`
+	Candidates []RecommendCandidate `json:"candidates"`
+	Validated  bool                 `json:"validated"`
+	Violations []string             `json:"violations"`
+}
+
 // SQLCell is one cell of the SQL-computed Table III matrix.
 type SQLCell struct {
 	A      string `json:"a"`

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"osdiversity"
+	"osdiversity/internal/httpapi"
+)
+
+// specFromWire maps the wire request onto the facade spec (the field
+// sets line up one to one).
+func specFromWire(req httpapi.RecommendRequest) osdiversity.RecommendSpec {
+	return osdiversity.RecommendSpec{
+		Universe: req.Universe,
+		F:        req.F,
+		Windows:  req.Windows,
+		FromYear: req.FromYear,
+		ToYear:   req.ToYear,
+		Interval: req.Interval,
+		Trials:   req.Trials,
+		Seed:     req.Seed,
+		Beam:     req.Beam,
+		Top:      req.Top,
+	}
+}
+
+// CanonRecommend canonicalizes a recommend request against the corpus
+// (defaults filled, years clamped to the corpus range), so cosmetically
+// different requests share one cache entry and one computation.
+func CanonRecommend(a *osdiversity.Analysis, req httpapi.RecommendRequest) (httpapi.RecommendRequest, error) {
+	spec, err := a.CanonRecommendSpec(specFromWire(req))
+	if err != nil {
+		return httpapi.RecommendRequest{}, err
+	}
+	return httpapi.RecommendRequest{
+		Universe: spec.Universe,
+		F:        spec.F,
+		Windows:  spec.Windows,
+		FromYear: spec.FromYear,
+		ToYear:   spec.ToYear,
+		Interval: spec.Interval,
+		Trials:   spec.Trials,
+		Seed:     spec.Seed,
+		Beam:     spec.Beam,
+		Top:      spec.Top,
+	}, nil
+}
+
+// BuildRecommend runs the dynamic-diversity search and shapes the
+// /api/recommend document. The CLI prints exactly these bytes.
+func BuildRecommend(a *osdiversity.Analysis, req httpapi.RecommendRequest) (httpapi.Recommend, error) {
+	rec, err := a.Recommend(specFromWire(req))
+	if err != nil {
+		return httpapi.Recommend{}, err
+	}
+	doc := httpapi.Recommend{
+		Universe:   append([]string{}, rec.Spec.Universe...),
+		F:          rec.Spec.F,
+		Replicas:   rec.Replicas,
+		Windows:    rec.Spec.Windows,
+		FromYear:   rec.Spec.FromYear,
+		ToYear:     rec.Spec.ToYear,
+		Interval:   rec.Spec.Interval,
+		Trials:     rec.Spec.Trials,
+		Seed:       rec.Spec.Seed,
+		Beam:       rec.Spec.Beam,
+		Evaluated:  rec.Evaluated,
+		Candidates: []httpapi.RecommendCandidate{},
+		Validated:  rec.Validated,
+		Violations: append([]string{}, rec.Violations...),
+	}
+	for i, c := range rec.Candidates {
+		rc := httpapi.RecommendCandidate{
+			Rank:     i + 1,
+			Survival: c.Survival,
+			Cost:     c.Cost,
+			Windows:  []httpapi.RecommendWindow{},
+		}
+		for _, w := range c.Windows {
+			rc.Windows = append(rc.Windows, httpapi.RecommendWindow{
+				FromYear: w.FromYear,
+				ToYear:   w.ToYear,
+				OSes:     append([]string{}, w.OSes...),
+				Cost:     w.Cost,
+			})
+		}
+		doc.Candidates = append(doc.Candidates, rc)
+	}
+	return doc, nil
+}
+
+// handleRecommend serves POST /api/recommend: one dynamic-diversity
+// schedule search through the epoch-scoped cache and singleflight. An
+// empty body runs the all-defaults search; requests canonicalize
+// before keying, so cosmetically different specs share a computation.
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	ep, ok := s.currentEpoch(w)
+	if !ok {
+		return
+	}
+	var req httpapi.RecommendRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, queryMaxBody))
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, &apiError{status: http.StatusBadRequest, code: "bad_body",
+			message: "request body is not a RecommendRequest document: " + err.Error()})
+		return
+	}
+	canon, err := CanonRecommend(ep.Analysis, req)
+	if err != nil {
+		writeError(w, errBadParam(err.Error()))
+		return
+	}
+	keyBytes, err := json.Marshal(canon)
+	if err != nil {
+		writeError(w, errBadParam(err.Error()))
+		return
+	}
+	s.respond(w, ep, "recommend|"+string(keyBytes), func() (any, *apiError) {
+		doc, err := BuildRecommend(ep.Analysis, canon)
+		if err != nil {
+			return nil, errBadParam(err.Error())
+		}
+		return doc, nil
+	})
+}

@@ -1,0 +1,154 @@
+package server_test
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"osdiversity"
+	"osdiversity/internal/httpapi"
+	"osdiversity/internal/server"
+)
+
+// recommendSpec keeps the test searches small and deterministic.
+var recommendSpec = httpapi.RecommendRequest{Trials: 60, Beam: 2, Seed: 3}
+
+// TestRecommendByteIdentity pins the CLI/server contract at workers 1
+// and 4: the POST /api/recommend body equals httpapi.Marshal of
+// BuildRecommend over the canonicalized request — the exact bytes
+// `osdiv recommend` prints.
+func TestRecommendByteIdentity(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, _, c := newTestServer(t, workers)
+		got, err := c.PostJSON("/api/recommend", recommendSpec)
+		if err != nil {
+			t.Fatalf("workers=%d POST /api/recommend: %v", workers, err)
+		}
+		a, err := osdiversity.LoadCalibrated(osdiversity.WithParallelism(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon, err := server.CanonRecommend(a, recommendSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := server.BuildRecommend(a, canon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := httpapi.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: server bytes differ from CLI bytes\nserver: %s\ncli:    %s", workers, got, want)
+		}
+	}
+}
+
+// TestRecommendCanonicalization pins that cosmetically different specs
+// share one answer: an empty body, an explicit all-defaults body, and
+// out-of-range years that clamp to the corpus all return identical
+// bytes.
+func TestRecommendCanonicalization(t *testing.T) {
+	_, ts, c := newTestServer(t, 2)
+	base, err := c.PostJSON("/api/recommend", nil)
+	if err != nil {
+		t.Fatalf("POST nil body: %v", err)
+	}
+	explicit, err := c.PostJSON("/api/recommend", httpapi.RecommendRequest{
+		F: 1, Windows: 2, Interval: 2, Trials: 200, Seed: 1, Beam: 4, Top: 3,
+	})
+	if err != nil {
+		t.Fatalf("POST explicit defaults: %v", err)
+	}
+	if !bytes.Equal(base, explicit) {
+		t.Fatal("explicit defaults differ from empty body")
+	}
+	clamped, err := c.PostJSON("/api/recommend", httpapi.RecommendRequest{
+		FromYear: 1900, ToYear: 2999,
+	})
+	if err != nil {
+		t.Fatalf("POST clamped years: %v", err)
+	}
+	if !bytes.Equal(base, clamped) {
+		t.Fatal("out-of-range years did not clamp to the default answer")
+	}
+	// An empty-body POST with no JSON at all behaves the same.
+	resp, err := http.Post(ts.URL+"/api/recommend", "application/json", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty body status = %d", resp.StatusCode)
+	}
+}
+
+// TestRecommendTypedErrors covers the error envelopes of the new
+// endpoint: malformed bodies, invalid specs, and the method guard.
+func TestRecommendTypedErrors(t *testing.T) {
+	_, ts, c := newTestServer(t, 1)
+	cases := []struct {
+		name string
+		body any
+		code string
+	}{
+		{"bad F", httpapi.RecommendRequest{F: 9}, "bad_param"},
+		{"bad universe", httpapi.RecommendRequest{Universe: []string{"BeOS", "Plan9", "DOS", "CP/M"}}, "bad_param"},
+		{"bad years", httpapi.RecommendRequest{FromYear: 2010, ToYear: 1994}, "bad_param"},
+		{"bad trials", httpapi.RecommendRequest{Trials: -1}, "bad_param"},
+	}
+	for _, tc := range cases {
+		_, err := c.PostJSON("/api/recommend", tc.body)
+		var apiErr *httpapi.Error
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("%s: err = %v, want typed envelope", tc.name, err)
+		}
+		if apiErr.StatusCode != http.StatusBadRequest || apiErr.Code != tc.code {
+			t.Errorf("%s: got %d %s, want 400 %s", tc.name, apiErr.StatusCode, apiErr.Code, tc.code)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/api/recommend", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status = %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/api/recommend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestRecommendClientMethod exercises the typed httpapi client method
+// end to end.
+func TestRecommendClientMethod(t *testing.T) {
+	_, _, c := newTestServer(t, 2)
+	doc, err := c.Recommend(recommendSpec)
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	if doc.Replicas != 4 || doc.F != 1 {
+		t.Errorf("doc shape: f=%d replicas=%d", doc.F, doc.Replicas)
+	}
+	if len(doc.Candidates) == 0 || doc.Candidates[0].Rank != 1 {
+		t.Fatalf("candidates = %+v", doc.Candidates)
+	}
+	if !doc.Validated {
+		t.Errorf("winner not validated: %v", doc.Violations)
+	}
+	if doc.Trials != 60 || doc.Beam != 2 || doc.Seed != 3 {
+		t.Errorf("canonical echo = %+v", doc)
+	}
+}

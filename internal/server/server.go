@@ -223,6 +223,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/attack", s.get(s.handleAttack))
 	mux.HandleFunc("/api/sqltable3", s.get(s.handleSQLTable3))
 	mux.HandleFunc("/api/query", s.post(s.handleQuery))
+	mux.HandleFunc("/api/recommend", s.post(s.handleRecommend))
 	mux.HandleFunc("/api/partial/table2", s.get(s.handlePartialTable2))
 	mux.HandleFunc("/api/partial/table4", s.get(s.handlePartialTable4))
 	mux.HandleFunc("/api/partial/table5", s.get(s.handlePartialTable5))

@@ -34,6 +34,7 @@ import (
 	"osdiversity/internal/cve"
 	"osdiversity/internal/nvdfeed"
 	"osdiversity/internal/osmap"
+	"osdiversity/internal/scenario"
 	"osdiversity/internal/snapshot"
 	"osdiversity/internal/vulndb"
 )
@@ -904,6 +905,237 @@ func (a *Analysis) DiversityGain(baselineOS string, diverse []string, f, trials 
 		attack.Scenario{Name: "homogeneous", F: f, OSes: homog},
 		attack.Scenario{Name: "diverse", F: f, OSes: ds},
 		trials)
+}
+
+// RecommendSpec parameterizes the dynamic-diversity schedule search
+// (internal/scenario). Zero fields take calibrated defaults: the
+// paper's eight history-eligible distributions, F=1, two temporal
+// windows spanning the corpus years, rotation interval 2, 200 trials,
+// seed 1, beam 4, top 3 reported candidates.
+type RecommendSpec struct {
+	Universe []string
+	F        int
+	Windows  int
+	FromYear int
+	ToYear   int
+	Interval float64
+	Trials   int
+	Seed     uint64
+	Beam     int
+	Top      int
+}
+
+// CanonRecommendSpec fills defaults, clamps bounds against the corpus
+// year range, and validates the spec. It is idempotent, so callers can
+// canonicalize once for cache keys and pass the result to Recommend.
+func (a *Analysis) CanonRecommendSpec(spec RecommendSpec) (RecommendSpec, error) {
+	out := spec
+	if len(out.Universe) == 0 {
+		for _, d := range osmap.HistoryEligible() {
+			out.Universe = append(out.Universe, d.String())
+		}
+	} else {
+		ds, err := parseDistros(out.Universe)
+		if err != nil {
+			return RecommendSpec{}, err
+		}
+		canon := make([]string, len(ds))
+		for i, d := range ds {
+			canon[i] = d.String()
+		}
+		out.Universe = canon
+	}
+	if out.F == 0 {
+		out.F = 1
+	}
+	if out.F < 1 || out.F > 5 {
+		return RecommendSpec{}, fmt.Errorf("osdiversity: F must be in [1, 5], got %d", out.F)
+	}
+	if n := 3*out.F + 1; len(out.Universe) < n {
+		return RecommendSpec{}, fmt.Errorf("osdiversity: universe of %d cannot fill %d replicas for F=%d", len(out.Universe), n, out.F)
+	}
+	lo, hi := a.study.YearRange()
+	if out.FromYear == 0 {
+		out.FromYear = lo
+	}
+	if out.ToYear == 0 {
+		out.ToYear = hi
+	}
+	out.FromYear = clampYear(out.FromYear, lo, hi)
+	out.ToYear = clampYear(out.ToYear, lo, hi)
+	if out.FromYear > out.ToYear {
+		return RecommendSpec{}, fmt.Errorf("osdiversity: from year %d after to year %d", out.FromYear, out.ToYear)
+	}
+	if out.Windows == 0 {
+		out.Windows = 2
+	}
+	if out.Windows < 1 || out.Windows > 8 {
+		return RecommendSpec{}, fmt.Errorf("osdiversity: windows must be in [1, 8], got %d", out.Windows)
+	}
+	if span := out.ToYear - out.FromYear + 1; out.Windows > span {
+		out.Windows = span
+	}
+	if out.Interval == 0 {
+		out.Interval = 2
+	}
+	if out.Interval <= 0 {
+		return RecommendSpec{}, fmt.Errorf("osdiversity: interval must be positive, got %v", out.Interval)
+	}
+	if out.Trials == 0 {
+		out.Trials = 200
+	}
+	if out.Trials < 1 || out.Trials > 100000 {
+		return RecommendSpec{}, fmt.Errorf("osdiversity: trials must be in [1, 100000], got %d", out.Trials)
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.Beam == 0 {
+		out.Beam = 4
+	}
+	if out.Beam < 1 || out.Beam > 16 {
+		return RecommendSpec{}, fmt.Errorf("osdiversity: beam must be in [1, 16], got %d", out.Beam)
+	}
+	// Keep beam^windows inside the scenario engine's schedule cap.
+	for pow(out.Beam, out.Windows) > 1024 {
+		out.Beam--
+	}
+	if out.Top == 0 {
+		out.Top = 3
+	}
+	if out.Top < 1 || out.Top > 32 {
+		return RecommendSpec{}, fmt.Errorf("osdiversity: top must be in [1, 32], got %d", out.Top)
+	}
+	return out, nil
+}
+
+func clampYear(y, lo, hi int) int {
+	if y < lo {
+		return lo
+	}
+	if y > hi {
+		return hi
+	}
+	return y
+}
+
+func pow(b, e int) int {
+	n := 1
+	for i := 0; i < e; i++ {
+		if n *= b; n > 1024 {
+			return n
+		}
+	}
+	return n
+}
+
+// RecommendWindow is one temporal window of a recommended schedule.
+type RecommendWindow struct {
+	FromYear int
+	ToYear   int
+	OSes     []string
+	Cost     int
+}
+
+// RecommendCandidate is one ranked rotation schedule.
+type RecommendCandidate struct {
+	Survival float64
+	Cost     int
+	Windows  []RecommendWindow
+}
+
+// Recommendation is a completed dynamic-diversity search: the
+// canonicalized spec it answered, the top candidates ranked by Monte
+// Carlo survival (ties by static cost, then enumeration order), and
+// the BFT replay verdict for the winner.
+type Recommendation struct {
+	Spec       RecommendSpec
+	Replicas   int
+	Evaluated  int
+	Candidates []RecommendCandidate
+	Validated  bool
+	Violations []string
+}
+
+// Recommend searches OS assignments and rotation schedules maximizing
+// survival under the Monte Carlo attack model (internal/scenario) and
+// validates the winner on the BFT substrate. Trials run on the
+// configured worker pool with per-candidate seed streams, so the
+// result is identical at any parallelism.
+func (a *Analysis) Recommend(spec RecommendSpec) (Recommendation, error) {
+	canon, err := a.CanonRecommendSpec(spec)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	ds, err := parseDistros(canon.Universe)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	eng := scenario.NewEngine(a.study, core.IsolatedThinServer)
+	eng.SetParallelism(a.study.Parallelism())
+	res, err := eng.Search(scenario.Spec{
+		F:        canon.F,
+		Universe: ds,
+		Windows:  splitWindows(canon.FromYear, canon.ToYear, canon.Windows),
+		Interval: canon.Interval,
+		Trials:   canon.Trials,
+		Seed:     canon.Seed,
+		Beam:     canon.Beam,
+	})
+	if err != nil {
+		return Recommendation{}, err
+	}
+	rec := Recommendation{
+		Spec:       canon,
+		Replicas:   3*canon.F + 1,
+		Evaluated:  res.Evaluated,
+		Candidates: []RecommendCandidate{},
+		Validated:  res.Validated,
+		Violations: append([]string{}, res.Violations...),
+	}
+	top := canon.Top
+	if top > len(res.Candidates) {
+		top = len(res.Candidates)
+	}
+	for _, c := range res.Candidates[:top] {
+		rc := RecommendCandidate{
+			Survival: c.Survival,
+			Cost:     c.Cost,
+			Windows:  make([]RecommendWindow, 0, len(c.Windows)),
+		}
+		for _, w := range c.Windows {
+			names := make([]string, len(w.OSes))
+			for i, d := range w.OSes {
+				names[i] = d.String()
+			}
+			rc.Windows = append(rc.Windows, RecommendWindow{
+				FromYear: w.Window.FromYear,
+				ToYear:   w.Window.ToYear,
+				OSes:     names,
+				Cost:     w.Cost,
+			})
+		}
+		rec.Candidates = append(rec.Candidates, rc)
+	}
+	return rec, nil
+}
+
+// splitWindows partitions [from, to] into n contiguous year windows;
+// earlier windows absorb the remainder years.
+func splitWindows(from, to, n int) []core.SelectionWindow {
+	span := to - from + 1
+	base, rem := span/n, span%n
+	out := make([]core.SelectionWindow, 0, n)
+	start := from
+	for i := 0; i < n; i++ {
+		length := base
+		if i < rem {
+			length++
+		}
+		out = append(out, core.SelectionWindow{FromYear: start, ToYear: start + length - 1})
+		start += length
+	}
+	return out
 }
 
 func parseDistros(names []string) ([]osmap.Distro, error) {
